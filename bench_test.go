@@ -1,0 +1,349 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, regenerating the same rows/series at paper scale, plus
+// ablation benches for design choices called out in DESIGN.md.
+//
+// Run everything (slow — the class-A figures take tens of seconds each):
+//
+//	go test -bench=. -benchmem
+//
+// Or a single figure:
+//
+//	go test -bench=BenchmarkFig10 -benchtime=1x
+//
+// Each bench prints its regenerated table once and reports the figure's
+// key error metrics via b.ReportMetric.
+package microgrid
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"microgrid/internal/core"
+	"microgrid/internal/cpusched"
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+	"microgrid/internal/topology"
+)
+
+// printOnce guards table printing so -benchtime iterations don't spam.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string, metricsOut map[string]string) {
+	b.Helper()
+	fn, err := core.GetExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exp *core.Experiment
+	for i := 0; i < b.N; i++ {
+		exp, err = fn(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, dup := printOnce.LoadOrStore(id, true); !dup {
+		b.Logf("\n%s", exp.Table.String())
+		for _, n := range exp.Notes {
+			b.Logf("note: %s", n)
+		}
+	}
+	for metric, unit := range metricsOut {
+		if v, ok := exp.Metrics[metric]; ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+// BenchmarkFig05MemoryLimit — memory capacity enforcement (Fig. 5).
+func BenchmarkFig05MemoryLimit(b *testing.B) {
+	runExperiment(b, "fig05", map[string]string{"overhead_bytes": "overhead_B", "slope": "slope"})
+}
+
+// BenchmarkFig06CPUFraction — delivered vs specified CPU fraction under
+// competition (Fig. 6).
+func BenchmarkFig06CPUFraction(b *testing.B) {
+	runExperiment(b, "fig06", map[string]string{
+		"spec50_none": "none@50_%", "spec90_cpu": "cpu@90_%",
+	})
+}
+
+// BenchmarkFig07QuantaDistribution — quanta-size stability (Fig. 7).
+func BenchmarkFig07QuantaDistribution(b *testing.B) {
+	runExperiment(b, "fig07", map[string]string{
+		"dev_none": "dev_none", "dev_cpu": "dev_cpu", "dev_io": "dev_io",
+	})
+}
+
+// BenchmarkFig08NetworkModel — NSE latency/bandwidth modeling (Fig. 8).
+func BenchmarkFig08NetworkModel(b *testing.B) {
+	runExperiment(b, "fig08", map[string]string{
+		"worst_latency_err_pct": "lat_err_%", "worst_bandwidth_err_pct": "bw_err_%",
+	})
+}
+
+// BenchmarkFig09Configurations — the configurations table (Fig. 9).
+func BenchmarkFig09Configurations(b *testing.B) {
+	runExperiment(b, "fig09", nil)
+}
+
+// BenchmarkFig10NPBClassA — NPB class A totals, physical vs MicroGrid on
+// both configurations (Fig. 10). The headline validation.
+func BenchmarkFig10NPBClassA(b *testing.B) {
+	runExperiment(b, "fig10", map[string]string{"worst_err_pct": "worst_err_%"})
+}
+
+// BenchmarkFig11QuantumSweep — scheduling-quantum ablation on class S
+// (Fig. 11); this is also DESIGN.md's quantum ablation.
+func BenchmarkFig11QuantumSweep(b *testing.B) {
+	runExperiment(b, "fig11", map[string]string{
+		"MG_err_pct_2.5ms": "MG@2.5ms_err_%", "MG_err_pct_30ms": "MG@30ms_err_%",
+	})
+}
+
+// BenchmarkFig12CPUScaling — CPU-scaling extrapolation at fixed slow
+// network (Fig. 12).
+func BenchmarkFig12CPUScaling(b *testing.B) {
+	runExperiment(b, "fig12", map[string]string{
+		"EP_norm_8x": "EP_norm_8x", "MG_norm_8x": "MG_norm_8x",
+	})
+}
+
+// BenchmarkFig14VBNSDegrade — NPB over the vBNS testbed with WAN
+// bandwidth sweep (Figs. 13–14).
+func BenchmarkFig14VBNSDegrade(b *testing.B) {
+	runExperiment(b, "fig14", map[string]string{
+		"EP_622M_s": "EP@622M_s", "EP_10M_s": "EP@10M_s",
+	})
+}
+
+// BenchmarkFig15EmulationRates — rate-invariance of virtual-time results
+// (Fig. 15).
+func BenchmarkFig15EmulationRates(b *testing.B) {
+	runExperiment(b, "fig15", map[string]string{
+		"EP_norm_8x": "EP_norm_8x", "MG_norm_8x": "MG_norm_8x",
+	})
+}
+
+// BenchmarkFig16Cactus — CACTUS WaveToy full-application validation
+// (Fig. 16).
+func BenchmarkFig16Cactus(b *testing.B) {
+	runExperiment(b, "fig16", map[string]string{"worst_err_pct": "worst_err_%"})
+}
+
+// BenchmarkFig17Autopilot — internal validation by Autopilot traces at
+// simulation rate 0.04 (Fig. 17). The slowest figure: class A emulated at
+// 4% CPU.
+func BenchmarkFig17Autopilot(b *testing.B) {
+	runExperiment(b, "fig17", map[string]string{
+		"EP_skew_pct": "EP_skew_%", "BT_skew_pct": "BT_skew_%", "MG_skew_pct": "MG_skew_%",
+	})
+}
+
+// BenchmarkAblationSendOverhead — DESIGN.md ablation: the per-message CPU
+// overhead model's effect on small-message latency.
+func BenchmarkAblationSendOverhead(b *testing.B) {
+	for _, overhead := range []float64{1, 8000, 80000} {
+		overhead := overhead
+		b.Run(fmt.Sprintf("ops=%g", overhead), func(b *testing.B) {
+			var lat simcore.Duration
+			for i := 0; i < b.N; i++ {
+				m, err := core.Build(core.BuildConfig{
+					Seed:            1,
+					Target:          core.AlphaCluster.WithProcs(2),
+					SendOverheadOps: overhead,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat, err = core.PingPongOneWay(m, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(lat)/1000, "oneway_us")
+		})
+	}
+}
+
+// BenchmarkAblationChargePolicy — DESIGN.md ablation: the paper's
+// wall-time charging (Fig. 4) vs actual-CPU charging under a CPU hog.
+func BenchmarkAblationChargePolicy(b *testing.B) {
+	for _, chargeCPU := range []bool{false, true} {
+		chargeCPU := chargeCPU
+		name := "wall-time"
+		if chargeCPU {
+			name = "actual-cpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			var delivered float64
+			for i := 0; i < b.N; i++ {
+				eng := simcore.NewEngine(3)
+				h := cpusched.NewHost(eng, "h", 533, 0)
+				cpusched.StartCPUCompetitor(h, "hog")
+				job := h.NewTask("job")
+				fc := cpusched.NewFractionController(h, job, 0.45)
+				fc.ChargeActualCPU = chargeCPU
+				fc.Spawn()
+				jp := eng.Spawn("job", func(p *simcore.Proc) {
+					for {
+						job.ComputeSeconds(p, 1)
+					}
+				})
+				jp.SetDaemon(true)
+				eng.Spawn("end", func(p *simcore.Proc) {
+					p.Sleep(30 * simcore.Second)
+					eng.Stop()
+				})
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				delivered = job.UsedCPU().Seconds() / 30
+			}
+			b.ReportMetric(100*delivered, "delivered_%")
+		})
+	}
+}
+
+// BenchmarkAblationPhaseAlignment — DESIGN.md ablation: scheduler-daemon
+// phase alignment across machines. Aligned daemons (spread 0) give the
+// tight class-A matches of Fig. 10; staggered daemons reproduce Fig. 11's
+// quantum-dependent error. Measured on MG class S, quantum 10 ms.
+func BenchmarkAblationPhaseAlignment(b *testing.B) {
+	for _, spread := range []float64{0, 0.25, 1.0} {
+		spread := spread
+		b.Run(fmt.Sprintf("spread=%g", spread), func(b *testing.B) {
+			var errPct float64
+			for i := 0; i < b.N; i++ {
+				phys, err := core.RunNPBOnce(core.BuildConfig{
+					Seed: 21, Target: core.AlphaCluster,
+				}, "MG", 'S')
+				if err != nil {
+					b.Fatal(err)
+				}
+				emu, err := core.RunNPBOnce(core.BuildConfig{
+					Seed: 21, Target: core.AlphaCluster,
+					Emulation: &core.AlphaCluster, Rate: 0.5,
+					StaggerSpread: spread,
+				}, "MG", 'S')
+				if err != nil {
+					b.Fatal(err)
+				}
+				errPct = 100 * math.Abs(emu.Seconds()-phys.Seconds()) / phys.Seconds()
+			}
+			b.ReportMetric(errPct, "err_%")
+		})
+	}
+}
+
+// BenchmarkAblationNetworkFidelity — the speed-vs-fidelity axis: IS class
+// S (the most network-intensive kernel) under packet-level vs analytic
+// flow-level network modeling. Reports the modeled time and, implicitly
+// via ns/op, the simulation speedup flow mode buys.
+func BenchmarkAblationNetworkFidelity(b *testing.B) {
+	for _, flow := range []bool{false, true} {
+		flow := flow
+		name := "packet-level"
+		if flow {
+			name = "flow-level"
+		}
+		b.Run(name, func(b *testing.B) {
+			var elapsed simcore.Duration
+			for i := 0; i < b.N; i++ {
+				var err error
+				elapsed, err = core.RunNPBOnce(core.BuildConfig{
+					Seed: 22, Target: core.AlphaCluster, FlowNetwork: flow,
+				}, "IS", 'S')
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(elapsed.Seconds(), "modeled_s")
+		})
+	}
+}
+
+// BenchmarkExtraCrossTraffic goes beyond the paper's figures: NPB MG over
+// the vBNS testbed while CBR background traffic consumes 0 / 50 / 90% of
+// the 10 Mb/s WAN bottleneck — the competing-load dimension the paper
+// contrasts with the Bricks project.
+func BenchmarkExtraCrossTraffic(b *testing.B) {
+	for _, loadPct := range []float64{0, 50, 90} {
+		loadPct := loadPct
+		b.Run(fmt.Sprintf("load=%g%%", loadPct), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				spec, err := topology.VBNSSpec(topology.VBNSConfig{
+					HostsPerSite:  3, // third host per site carries the cross traffic
+					BottleneckBps: 10e6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := core.Build(core.BuildConfig{
+					Seed:      23,
+					Target:    core.AlphaCluster,
+					Topo:      spec,
+					HostRanks: []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if loadPct > 0 {
+					nw := m.Grid.Network()
+					src, dst := nw.Node("ucsd2"), nw.Node("uiuc2")
+					netsim.CountingSink(dst, 99)
+					gen, err := netsim.StartCBR(src, dst, 99, 10e6*loadPct/100, 1000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Bound the generator's lifetime so the simulation
+					// drains after the job completes.
+					m.Eng.After(60*simcore.Second, gen.Stop)
+				}
+				report, err := m.RunApp("MG", func(ctx *AppContext) error {
+					return RunNPB(ctx, "MG", NPBClassS, nil)
+				}, core.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = report.VirtualElapsed.Seconds()
+			}
+			b.ReportMetric(modeled, "modeled_s")
+		})
+	}
+}
+
+// BenchmarkEngineEventThroughput measures the DES core's raw event rate —
+// the scalability budget the paper's future-work section worries about.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	eng := simcore.NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(simcore.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(simcore.Microsecond, tick)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcContextSwitch measures process park/resume cost.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	eng := simcore.NewEngine(1)
+	eng.Spawn("p", func(p *simcore.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(simcore.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

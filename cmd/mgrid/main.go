@@ -1,0 +1,82 @@
+// Command mgrid runs the paper's experiments: every table and figure of
+// the MicroGrid evaluation, printed as text tables.
+//
+// Usage:
+//
+//	mgrid -list
+//	mgrid -experiment fig10            # full (paper-scale) run
+//	mgrid -experiment fig10 -quick     # reduced problem sizes
+//	mgrid -all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"microgrid"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		expID = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced problem sizes for fast runs")
+		csv   = flag.Bool("csv", false, "emit tables as CSV instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, e := range microgrid.Experiments() {
+			fmt.Printf("  %s\n", e.ID)
+		}
+		return
+	}
+
+	run := func(id string, fn microgrid.ExperimentFunc) error {
+		start := time.Now()
+		exp, err := fn(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n", exp.ID, exp.Title)
+			fmt.Print(exp.Table.CSV())
+			fmt.Println()
+			return nil
+		}
+		fmt.Printf("=== %s — %s (wall %.1fs)\n", exp.ID, exp.Title, time.Since(start).Seconds())
+		fmt.Print(exp.Table.String())
+		for _, n := range exp.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	switch {
+	case *all:
+		for _, e := range microgrid.Experiments() {
+			if err := run(e.ID, e.Fn); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *expID != "":
+		fn, err := microgrid.GetExperiment(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := run(*expID, fn); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,103 @@
+// Command mgridgis inspects Grid Information Service data: it loads LDIF
+// files, runs LDAP-style filter searches, and decodes the MicroGrid's
+// virtual-resource record extensions.
+//
+// Usage:
+//
+//	mgridgis -demo                                   # print the paper's Fig. 3 records
+//	mgridgis -load grid.ldif -filter '(Is_Virtual_Resource=Yes)'
+//	mgridgis -load grid.ldif -config Slow_CPU_Configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microgrid/internal/gis"
+	"microgrid/internal/simcore"
+)
+
+func main() {
+	var (
+		demo   = flag.Bool("demo", false, "print the paper's example virtual records")
+		load   = flag.String("load", "", "LDIF file to load")
+		filter = flag.String("filter", "", "LDAP-style search filter")
+		base   = flag.String("base", "", "search base DN (default: whole tree)")
+		config = flag.String("config", "", "decode virtual resources of this Configuration_Name")
+	)
+	flag.Parse()
+
+	server := gis.NewServer()
+	if *demo {
+		host := gis.VirtualHost{
+			Hostname:       "vm.ucsd.edu",
+			OrgUnit:        "Concurrent Systems Architecture Group",
+			ConfigName:     "Slow_CPU_Configuration",
+			MappedPhysical: "csag-226-67.ucsd.edu",
+			CPUSpeedMIPS:   10,
+			MemoryBytes:    100 << 20,
+			VirtualIP:      "1.11.11.2",
+		}
+		server.Upsert(host.Entry())
+		net := gis.VirtualNetwork{
+			Prefix:       "1.11.11.0",
+			Parent:       "1.11.0.0",
+			OrgUnit:      "Concurrent Systems Architecture Group",
+			ConfigName:   "Slow_CPU_Configuration",
+			Type:         "LAN",
+			BandwidthBps: 100e6,
+			Delay:        50 * simcore.Millisecond,
+		}
+		server.Upsert(net.Entry())
+		fmt.Print(gis.DumpLDIF(server))
+		return
+	}
+
+	if *load == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := gis.LoadLDIF(server, f); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d entries\n", server.Len())
+
+	if *config != "" {
+		hosts, nets, err := gis.VirtualResources(server, *config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, h := range hosts {
+			fmt.Printf("host %s: %.0f MIPS, %s, on %s, vIP %s\n",
+				h.Hostname, h.CPUSpeedMIPS, gis.FormatBytes(h.MemoryBytes),
+				h.MappedPhysical, h.VirtualIP)
+		}
+		for _, n := range nets {
+			fmt.Printf("network %s (%s): %s\n", n.Prefix, n.Type, gis.FormatSpeed(n.BandwidthBps, n.Delay))
+		}
+		return
+	}
+
+	var fl gis.Filter
+	if *filter != "" {
+		fl, err = gis.ParseFilter(*filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	results := server.Search(gis.DN(*base), gis.ScopeSubtree, fl)
+	if err := gis.WriteLDIF(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Adaptive middleware study: the experiment class the MicroGrid was built
+// for. A master/worker application runs on a *heterogeneous* virtual grid
+// (one worker is 4× slower) under two scheduling policies — static
+// partitioning vs adaptive self-scheduling — and the virtual-time results
+// show how much adaptation buys. Changing the grid is one line; no
+// physical testbed required.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"microgrid"
+)
+
+// A heterogeneous grid defined in the GIS: a master, two fast workers and
+// one slow worker.
+const gridLDIF = `
+dn: ou=Concurrent Systems Architecture Group, o=Grid
+
+dn: hn=master, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Hetero
+Mapped_Physical_Resource: pm
+CpuSpeed: 533
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.1
+
+dn: hn=worker-fast1, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Hetero
+Mapped_Physical_Resource: p1
+CpuSpeed: 533
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.2
+
+dn: hn=worker-fast2, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Hetero
+Mapped_Physical_Resource: p2
+CpuSpeed: 533
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.3
+
+dn: hn=worker-slow, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Hetero
+Mapped_Physical_Resource: p3
+CpuSpeed: 133
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.4
+
+dn: nn=1.11.11.0, nn=1.11.0.0, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Hetero
+nwType: LAN
+speed: 100Mbps 25us
+`
+
+func run(policy microgrid.WorkQueueConfig) (float64, *microgrid.WorkQueueResult) {
+	server, err := microgrid.LoadGIS(strings.NewReader(gridLDIF))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := microgrid.BuildFromGIS(server, "Hetero", microgrid.GISBuildOptions{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res *microgrid.WorkQueueResult
+	report, err := m.RunApp("farm", func(ctx *microgrid.AppContext) error {
+		r, err := microgrid.RunWorkQueue(ctx, policy)
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			res = r
+		}
+		return nil
+	}, microgrid.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report.VirtualElapsed.Seconds(), res
+}
+
+func main() {
+	base := microgrid.WorkQueueConfig{Units: 400, OpsPerUnit: 2e6}
+
+	fmt.Println("400 work units on {533, 533, 133} MIPS workers (master on a 4th host)")
+	fmt.Println()
+
+	base.Policy = microgrid.WorkQueueStatic
+	tStatic, rStatic := run(base)
+	fmt.Printf("static partitioning:  %6.3f virtual s   per-worker units %v\n",
+		tStatic, rStatic.PerWorker[1:])
+
+	base.Policy = microgrid.WorkQueueSelfScheduling
+	tAdaptive, rAdaptive := run(base)
+	fmt.Printf("self-scheduling:      %6.3f virtual s   per-worker units %v\n",
+		tAdaptive, rAdaptive.PerWorker[1:])
+
+	fmt.Printf("\nadaptation gain: %.0f%% faster on this heterogeneous grid\n",
+		100*(1-tAdaptive/tStatic))
+}

@@ -1,0 +1,3 @@
+module microgrid
+
+go 1.22

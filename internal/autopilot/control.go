@@ -1,0 +1,97 @@
+package autopilot
+
+import (
+	"fmt"
+
+	"microgrid/internal/simcore"
+	"microgrid/internal/vtime"
+)
+
+// Adaptive control: Autopilot's full loop is "sensors, decision
+// procedures, and actuators" (Ribler et al., HPDC'98 — the paper's [17]).
+// A Controller periodically evaluates rules against sensor values and
+// fires actuators, letting applications and middleware adapt to the
+// virtual grid's conditions — the adaptive-software studies the MicroGrid
+// was built to host.
+
+// Rule maps an observed sensor value to an optional action.
+type Rule struct {
+	// Sensor names the monitored sensor.
+	Sensor string
+	// When returns true if the actuator should fire for this value.
+	When func(value float64) bool
+	// Act is the actuator; it runs inside the controller's process.
+	Act func(p *simcore.Proc, value float64)
+	// Cooldown suppresses re-firing for a span of virtual time after an
+	// activation (0 = fire at every matching evaluation).
+	Cooldown simcore.Duration
+	lastFire simcore.Time
+	fired    bool
+}
+
+// Controller evaluates rules on a fixed virtual-time period.
+type Controller struct {
+	col     *Collector
+	clock   *vtime.Clock
+	rules   []*Rule
+	stopped bool
+	running bool
+	// Activations counts actuator firings.
+	Activations int64
+}
+
+// NewController builds a controller over a collector's sensors.
+func NewController(col *Collector, clock *vtime.Clock) *Controller {
+	return &Controller{col: col, clock: clock}
+}
+
+// AddRule registers a rule; the sensor must already be registered.
+func (c *Controller) AddRule(r Rule) error {
+	if _, ok := c.col.sensors[r.Sensor]; !ok {
+		return fmt.Errorf("autopilot: rule references unknown sensor %q", r.Sensor)
+	}
+	if r.When == nil || r.Act == nil {
+		return fmt.Errorf("autopilot: rule for %q needs When and Act", r.Sensor)
+	}
+	rr := r
+	c.rules = append(c.rules, &rr)
+	return nil
+}
+
+// Start begins evaluating rules every period of virtual time.
+func (c *Controller) Start(eng *simcore.Engine, period simcore.Duration) error {
+	if c.running {
+		return fmt.Errorf("autopilot: controller already started")
+	}
+	if period <= 0 {
+		return fmt.Errorf("autopilot: non-positive period %v", period)
+	}
+	c.running = true
+	p := eng.Spawn("autopilot-controller", func(p *simcore.Proc) {
+		for !c.stopped {
+			c.clock.SleepVirtual(p, period)
+			if c.stopped {
+				return
+			}
+			now := c.clock.Gettimeofday()
+			for _, r := range c.rules {
+				s := c.col.sensors[r.Sensor]
+				if !r.When(s.value) {
+					continue
+				}
+				if r.fired && r.Cooldown > 0 && now.Sub(r.lastFire) < r.Cooldown {
+					continue
+				}
+				r.fired = true
+				r.lastFire = now
+				c.Activations++
+				r.Act(p, s.value)
+			}
+		}
+	})
+	p.SetDaemon(true)
+	return nil
+}
+
+// Stop ends rule evaluation at the next tick.
+func (c *Controller) Stop() { c.stopped = true }

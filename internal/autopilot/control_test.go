@@ -1,0 +1,172 @@
+package autopilot
+
+import (
+	"testing"
+
+	"microgrid/internal/simcore"
+	"microgrid/internal/vtime"
+)
+
+func controllerFixture(t *testing.T) (*simcore.Engine, *Collector, *Controller, *Sensor) {
+	t.Helper()
+	eng := simcore.NewEngine(1)
+	clock := vtime.NewClock(eng, 1)
+	col := NewCollector(eng, clock)
+	s := col.Register("load")
+	ctl := NewController(col, clock)
+	return eng, col, ctl, s
+}
+
+func TestControllerFiresOnThreshold(t *testing.T) {
+	eng, _, ctl, s := controllerFixture(t)
+	var firedAt simcore.Time
+	var firedValue float64
+	err := ctl.AddRule(Rule{
+		Sensor: "load",
+		When:   func(v float64) bool { return v > 10 },
+		Act: func(p *simcore.Proc, v float64) {
+			if firedAt == 0 {
+				firedAt = p.Now()
+				firedValue = v
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(eng, 100*simcore.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn("app", func(p *simcore.Proc) {
+		s.Set(5)
+		p.Sleep(simcore.Second)
+		s.Set(15) // crosses the threshold at t=1s
+		p.Sleep(simcore.Second)
+		ctl.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedValue != 15 {
+		t.Fatalf("fired with %v", firedValue)
+	}
+	// The Set at 1s lands just before the controller's 1.0s tick (the
+	// app's sleep was scheduled earlier), so the first firing is at 1.0s.
+	if firedAt != simcore.Time(simcore.Second) {
+		t.Fatalf("fired at %v", firedAt)
+	}
+	if ctl.Activations < 1 {
+		t.Fatal("no activations counted")
+	}
+}
+
+func TestControllerCooldown(t *testing.T) {
+	eng, _, ctl, s := controllerFixture(t)
+	fires := 0
+	_ = ctl.AddRule(Rule{
+		Sensor:   "load",
+		When:     func(v float64) bool { return v > 0 },
+		Act:      func(*simcore.Proc, float64) { fires++ },
+		Cooldown: simcore.Second,
+	})
+	if err := ctl.Start(eng, 100*simcore.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn("app", func(p *simcore.Proc) {
+		s.Set(1)
+		p.Sleep(3 * simcore.Second)
+		ctl.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Over ~3s with a 1s cooldown: ~3 firings, not ~30.
+	if fires < 2 || fires > 4 {
+		t.Fatalf("fires = %d, want ≈3", fires)
+	}
+}
+
+func TestControllerNoCooldownFiresEachTick(t *testing.T) {
+	eng, _, ctl, s := controllerFixture(t)
+	fires := 0
+	_ = ctl.AddRule(Rule{
+		Sensor: "load",
+		When:   func(v float64) bool { return v > 0 },
+		Act:    func(*simcore.Proc, float64) { fires++ },
+	})
+	if err := ctl.Start(eng, 100*simcore.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn("app", func(p *simcore.Proc) {
+		s.Set(1)
+		p.Sleep(simcore.Second)
+		ctl.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires < 9 || fires > 11 {
+		t.Fatalf("fires = %d, want ≈10", fires)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	eng, _, ctl, _ := controllerFixture(t)
+	if err := ctl.AddRule(Rule{Sensor: "ghost", When: func(float64) bool { return true },
+		Act: func(*simcore.Proc, float64) {}}); err == nil {
+		t.Fatal("unknown sensor accepted")
+	}
+	if err := ctl.AddRule(Rule{Sensor: "load"}); err == nil {
+		t.Fatal("rule without When/Act accepted")
+	}
+	if err := ctl.Start(eng, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if err := ctl.Start(eng, simcore.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(eng, simcore.Second); err == nil {
+		t.Fatal("double start accepted")
+	}
+	ctl.Stop()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveControlLoop is a miniature end-to-end adaptation: a
+// producer's throughput sensor dips; the controller actuates a "tuning"
+// change that restores it — the feedback shape Autopilot exists for.
+func TestAdaptiveControlLoop(t *testing.T) {
+	eng, _, ctl, s := controllerFixture(t)
+	rate := 100.0 // producer units/s, degraded at runtime
+	s.Set(rate)   // initialize before the first controller tick
+	_ = ctl.AddRule(Rule{
+		Sensor:   "load",
+		When:     func(v float64) bool { return v < 50 },
+		Act:      func(_ *simcore.Proc, _ float64) { rate = 120 }, // re-tune
+		Cooldown: simcore.Second,
+	})
+	if err := ctl.Start(eng, 100*simcore.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn("producer", func(p *simcore.Proc) {
+		for i := 0; i < 30; i++ {
+			p.Sleep(100 * simcore.Millisecond)
+			if i == 10 {
+				rate = 30 // external degradation
+			}
+			s.Set(rate)
+		}
+		ctl.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rate != 120 {
+		t.Fatalf("controller did not re-tune: rate = %v", rate)
+	}
+	if ctl.Activations != 1 {
+		t.Fatalf("activations = %d, want 1 (cooldown + restored condition)", ctl.Activations)
+	}
+}

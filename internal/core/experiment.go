@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"microgrid/internal/metrics"
+)
+
+// Experiment is the outcome of reproducing one paper table or figure.
+type Experiment struct {
+	// ID is the figure identifier ("fig05", "fig10", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Table holds the regenerated rows (render with String or CSV).
+	Table *metrics.Table
+	// Metrics exposes key scalar results for tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+	// Notes records caveats (class substitutions etc.).
+	Notes []string
+}
+
+// MetricKeys returns metric names sorted.
+func (e *Experiment) MetricKeys() []string {
+	out := make([]string, 0, len(e.Metrics))
+	for k := range e.Metrics {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExperimentFunc runs one experiment at the given scale. quick selects a
+// reduced problem size for fast runs (tests, smoke checks); the full size
+// matches the paper where tractable.
+type ExperimentFunc func(quick bool) (*Experiment, error)
+
+// Registry of all experiments, in paper order.
+func Experiments() []struct {
+	ID string
+	Fn ExperimentFunc
+} {
+	return []struct {
+		ID string
+		Fn ExperimentFunc
+	}{
+		{"fig05", Fig05Memory},
+		{"fig06", Fig06CPUFraction},
+		{"fig07", Fig07QuantaDistribution},
+		{"fig08", Fig08NetworkModel},
+		{"fig09", Fig09Configurations},
+		{"fig10", Fig10NPBClassA},
+		{"fig11", Fig11QuantumSweep},
+		{"fig12", Fig12CPUScaling},
+		{"fig14", Fig14VBNSDegrade},
+		{"fig15", Fig15EmulationRates},
+		{"fig16", Fig16Cactus},
+		{"fig17", Fig17Autopilot},
+	}
+}
+
+// GetExperiment finds an experiment by ID.
+func GetExperiment(id string) (ExperimentFunc, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Fn, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q", id)
+}

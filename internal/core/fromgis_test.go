@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"microgrid/internal/gis"
+)
+
+const testLDIF = `
+dn: ou=Concurrent Systems Architecture Group, o=Grid
+
+dn: hn=vma.ucsd.edu, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Test_Config
+Mapped_Physical_Resource: csag-226-67.ucsd.edu
+CpuSpeed: 533
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.1
+
+dn: hn=vmb.ucsd.edu, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Test_Config
+Mapped_Physical_Resource: csag-226-68.ucsd.edu
+CpuSpeed: 533
+MemorySize: 256MBytes
+Virtual_IP: 1.11.11.2
+
+dn: nn=1.11.11.0, nn=1.11.0.0, ou=Concurrent Systems Architecture Group, o=Grid
+Is_Virtual_Resource: Yes
+Configuration_Name: Test_Config
+nwType: LAN
+speed: 100Mbps 25us
+`
+
+func ldifServer(t *testing.T) *gis.Server {
+	t.Helper()
+	s := gis.NewServer()
+	if err := gis.LoadLDIF(s, strings.NewReader(testLDIF)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildFromGISDirect(t *testing.T) {
+	s := ldifServer(t)
+	m, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsDirect() {
+		t.Fatal("nil PhysMIPS should build direct mode")
+	}
+	if len(m.Hosts) != 2 || m.Hosts[0] != "vma.ucsd.edu" {
+		t.Fatalf("hosts = %v", m.Hosts)
+	}
+	h := m.Grid.Host("vma.ucsd.edu")
+	if h.CPUSpeedMIPS != 533 || h.IP.String() != "1.11.11.1" || h.Mem.Limit() != 256<<20 {
+		t.Fatalf("host = %+v", h)
+	}
+	// Run an app end-to-end on the GIS-defined grid.
+	report, err := m.RunApp("hello", func(ctx *AppContext) error {
+		ctx.Proc.ComputeVirtualSeconds(0.1)
+		return ctx.Comm.Barrier()
+	}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.VirtualElapsed.Seconds()-0.1) > 0.01 {
+		t.Fatalf("elapsed = %v", report.VirtualElapsed)
+	}
+}
+
+func TestBuildFromGISEmulated(t *testing.T) {
+	s := ldifServer(t)
+	m, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{
+		Seed: 1,
+		PhysMIPS: map[string]float64{
+			"csag-226-67.ucsd.edu": 533,
+			"csag-226-68.ucsd.edu": 533,
+		},
+		Rate: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsDirect() {
+		t.Fatal("PhysMIPS should build emulated mode")
+	}
+	h := m.Grid.Host("vma.ucsd.edu")
+	if math.Abs(h.Fraction-0.5) > 1e-9 {
+		t.Fatalf("fraction = %v", h.Fraction)
+	}
+	if h.Phys.Name != "csag-226-67.ucsd.edu" {
+		t.Fatalf("mapping = %s", h.Phys.Name)
+	}
+	report, err := m.RunApp("hello", func(ctx *AppContext) error {
+		ctx.Proc.ComputeVirtualSeconds(0.1)
+		return nil
+	}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(report.VirtualElapsed.Seconds()-0.1) > 0.02 {
+		t.Fatalf("elapsed = %v", report.VirtualElapsed)
+	}
+}
+
+func TestBuildFromGISSharedPhysical(t *testing.T) {
+	s := gis.NewServer()
+	text := strings.ReplaceAll(testLDIF, "csag-226-68", "csag-226-67") // both on one machine
+	if err := gis.LoadLDIF(s, strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{
+		Seed:     1,
+		PhysMIPS: map[string]float64{"csag-226-67.ucsd.edu": 533},
+		Rate:     0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Grid.Host("vma.ucsd.edu")
+	b := m.Grid.Host("vmb.ucsd.edu")
+	if a.Phys != b.Phys {
+		t.Fatal("hosts should share the physical machine")
+	}
+	if math.Abs(a.Fraction-0.25) > 1e-9 || math.Abs(b.Fraction-0.25) > 1e-9 {
+		t.Fatalf("fractions = %v %v", a.Fraction, b.Fraction)
+	}
+}
+
+func TestBuildFromGISErrors(t *testing.T) {
+	s := ldifServer(t)
+	if _, err := BuildFromGIS(s, "No_Such_Config", GISBuildOptions{}); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+	if _, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{
+		PhysMIPS: map[string]float64{"only-one": 533},
+	}); err == nil {
+		t.Fatal("missing calibration accepted")
+	}
+	// Record without an IP.
+	bad := gis.NewServer()
+	e := gis.VirtualHost{
+		Hostname: "x", OrgUnit: "O", ConfigName: "C",
+		MappedPhysical: "p", CPUSpeedMIPS: 100, MemoryBytes: 1 << 20,
+	}.Entry()
+	bad.Upsert(e)
+	if _, err := BuildFromGIS(bad, "C", GISBuildOptions{}); err == nil {
+		t.Fatal("record without Virtual_IP accepted")
+	}
+}
+
+func TestBuildFromGISInfeasibleRate(t *testing.T) {
+	s := ldifServer(t)
+	if _, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{
+		PhysMIPS: map[string]float64{
+			"csag-226-67.ucsd.edu": 100, // far slower than the 533 virtual
+			"csag-226-68.ucsd.edu": 100,
+		},
+		Rate: 1.0,
+	}); err == nil {
+		t.Fatal("infeasible rate accepted")
+	}
+}

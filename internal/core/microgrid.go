@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"microgrid/internal/gis"
+	"microgrid/internal/globus"
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+	"microgrid/internal/topology"
+	"microgrid/internal/virtual"
+	"microgrid/internal/vtime"
+)
+
+// OrgUnit is the GIS organizational unit all records live under, matching
+// the paper's example records.
+const OrgUnit = "Concurrent Systems Architecture Group"
+
+// BuildConfig assembles one MicroGrid instance.
+type BuildConfig struct {
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// Target is the virtual grid being modeled.
+	Target MachineConfig
+	// Emulation, when non-nil, is the physical platform the virtual grid
+	// is emulated on (the MicroGrid run). Nil means direct mode: the
+	// target hardware is modeled natively (the "physical grid" reference
+	// run).
+	Emulation *MachineConfig
+	// Rate is the simulation rate; 0 means the fastest feasible.
+	Rate float64
+	// Quantum is the MicroGrid scheduler quantum on the emulation hosts
+	// (default 10 ms). Fig. 11 sweeps this.
+	Quantum simcore.Duration
+	// Topo, when non-nil, replaces the default switched LAN with a custom
+	// topology (e.g. the vBNS testbed); HostRanks then lists which spec
+	// hosts are the virtual hosts, in rank order.
+	Topo      *topology.Spec
+	HostRanks []string
+	// SendOverheadOps / PerByteOps tune the per-message CPU model.
+	SendOverheadOps, PerByteOps float64
+	// StaggerSpread de-synchronizes the hosts' scheduler daemons by this
+	// fraction of their duty cycle (0 = aligned; see virtual.Config).
+	StaggerSpread float64
+	// FlowNetwork selects analytic flow-level network modeling instead of
+	// packet-level simulation (faster, lower fidelity).
+	FlowNetwork bool
+}
+
+// MicroGrid is an assembled simulation: the virtual grid, its GIS, and
+// the Globus stack, ready to run one application.
+type MicroGrid struct {
+	Eng      *simcore.Engine
+	Grid     *virtual.Grid
+	GIS      *gis.Server
+	Registry *globus.Registry
+	// Hosts are the virtual host names in rank order.
+	Hosts []string
+	// ConfigName groups this grid's GIS records.
+	ConfigName string
+	cfg        BuildConfig
+	ran        bool
+}
+
+// Build constructs the MicroGrid.
+func Build(cfg BuildConfig) (*MicroGrid, error) {
+	if cfg.Target.Procs <= 0 {
+		return nil, fmt.Errorf("core: target needs at least one processor")
+	}
+	eng := simcore.NewEngine(cfg.Seed)
+	configName := cfg.Target.Name
+	if cfg.Emulation != nil {
+		configName += " (emulated)"
+	}
+
+	// Virtual host set.
+	var hostNames []string
+	var hostCfgs []virtual.HostConfig
+	base := netsim.MustParseAddr("1.11.11.1")
+	if cfg.Topo != nil {
+		if len(cfg.HostRanks) == 0 {
+			return nil, fmt.Errorf("core: custom topology requires HostRanks")
+		}
+		hostNames = append(hostNames, cfg.HostRanks...)
+		byName := map[string]string{}
+		for _, h := range cfg.Topo.Hosts {
+			byName[h.Name] = h.Addr
+		}
+		for _, name := range hostNames {
+			addrStr, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("core: HostRanks names %q, absent from topology", name)
+			}
+			addr, err := netsim.ParseAddr(addrStr)
+			if err != nil {
+				return nil, err
+			}
+			hostCfgs = append(hostCfgs, virtual.HostConfig{
+				Name: name, IP: addr,
+				CPUSpeedMIPS: cfg.Target.CPUMIPS,
+				MemoryBytes:  cfg.Target.MemoryBytes,
+			})
+		}
+	} else {
+		for i := 0; i < cfg.Target.Procs; i++ {
+			name := fmt.Sprintf("vm%d", i)
+			hostNames = append(hostNames, name)
+			hostCfgs = append(hostCfgs, virtual.HostConfig{
+				Name: name, IP: base + netsim.Addr(i),
+				CPUSpeedMIPS: cfg.Target.CPUMIPS,
+				MemoryBytes:  cfg.Target.MemoryBytes,
+			})
+		}
+	}
+
+	// Physical platform and mapping.
+	vcfg := virtual.Config{
+		Hosts:           hostCfgs,
+		Rate:            cfg.Rate,
+		SendOverheadOps: cfg.SendOverheadOps,
+		PerByteOps:      cfg.PerByteOps,
+		StaggerSpread:   cfg.StaggerSpread,
+		FlowNetwork:     cfg.FlowNetwork,
+	}
+	if cfg.Emulation == nil {
+		vcfg.Direct = true
+		for i := range hostCfgs {
+			pname := "phys-" + hostCfgs[i].Name
+			hostCfgs[i].MappedPhysical = pname
+			vcfg.Phys = append(vcfg.Phys, virtual.PhysConfig{
+				Name: pname, CPUSpeedMIPS: cfg.Target.CPUMIPS,
+			})
+		}
+	} else {
+		for i := 0; i < cfg.Emulation.Procs; i++ {
+			vcfg.Phys = append(vcfg.Phys, virtual.PhysConfig{
+				Name:         fmt.Sprintf("%s-%d", "emul", i),
+				CPUSpeedMIPS: cfg.Emulation.CPUMIPS,
+				Quantum:      cfg.Quantum,
+			})
+		}
+		for i := range hostCfgs {
+			hostCfgs[i].MappedPhysical = fmt.Sprintf("emul-%d", i%cfg.Emulation.Procs)
+		}
+	}
+	vcfg.Hosts = hostCfgs
+
+	// Topology wiring.
+	wire := virtual.LANWire(hostCfgs, cfg.Target.NetBandwidthBps, cfg.Target.NetPerSideDelay)
+	if cfg.Topo != nil {
+		spec := cfg.Topo
+		wire = func(nw *netsim.Network, scale func(netsim.LinkConfig) netsim.LinkConfig) error {
+			return spec.Apply(nw, scale)
+		}
+	}
+
+	grid, err := virtual.NewGrid(eng, vcfg, wire)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &MicroGrid{
+		Eng:        eng,
+		Grid:       grid,
+		GIS:        gis.NewServer(),
+		Registry:   globus.NewRegistry(),
+		Hosts:      hostNames,
+		ConfigName: configName,
+		cfg:        cfg,
+	}
+
+	// Globus: a gatekeeper on every virtual host, registered in the GIS.
+	for _, name := range hostNames {
+		gk, err := globus.StartGatekeeper(grid.Host(name), 0, m.Registry)
+		if err != nil {
+			return nil, err
+		}
+		gk.RegisterInGIS(m.GIS, OrgUnit, configName, grid.Host(name).Phys.Name)
+	}
+	// Network record(s), in the paper's Fig. 3 style.
+	netRec := gis.VirtualNetwork{
+		Prefix:       "1.11.11.0",
+		Parent:       "1.11.0.0",
+		OrgUnit:      OrgUnit,
+		ConfigName:   configName,
+		Type:         "LAN",
+		BandwidthBps: cfg.Target.NetBandwidthBps,
+		Delay:        cfg.Target.NetPerSideDelay,
+	}
+	m.GIS.Upsert(netRec.Entry())
+	return m, nil
+}
+
+// Rate returns the grid's simulation rate.
+func (m *MicroGrid) Rate() float64 { return m.Grid.Rate() }
+
+// Clock returns the grid's virtual clock.
+func (m *MicroGrid) Clock() *vtime.Clock { return m.Grid.Clock() }
+
+// IsDirect reports whether this instance models the target natively.
+func (m *MicroGrid) IsDirect() bool { return m.cfg.Emulation == nil }

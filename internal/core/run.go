@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"microgrid/internal/autopilot"
+	"microgrid/internal/globus"
+	"microgrid/internal/mpi"
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+	"microgrid/internal/virtual"
+)
+
+// AppContext is what an application function receives on each rank.
+type AppContext struct {
+	// Comm is the rank's MPI communicator.
+	Comm *mpi.Comm
+	// Proc is the rank's virtual process.
+	Proc *virtual.Process
+	// Collector is the run's Autopilot collector (shared across ranks).
+	Collector *autopilot.Collector
+}
+
+// RunOptions tune a RunApp invocation.
+type RunOptions struct {
+	// SamplePeriod, when nonzero, starts Autopilot sampling at this
+	// virtual cadence (the paper samples every 1 s).
+	SamplePeriod simcore.Duration
+	// BasePort disambiguates the job's rendezvous ports.
+	BasePort netsim.Port
+	// Credential is presented to the gatekeepers.
+	Credential string
+	// RanksPerHost places several MPI ranks on each virtual host (GRAM
+	// count > host count); ranks on one host timeshare its virtual CPU.
+	// Default 1.
+	RanksPerHost int
+}
+
+// Report is the outcome of one application run.
+type Report struct {
+	// Name is the application name.
+	Name string
+	// Rate is the simulation rate the run used.
+	Rate float64
+	// VirtualElapsed is the longest rank time in virtual units — the
+	// "execution time" of the paper's figures.
+	VirtualElapsed simcore.Duration
+	// PhysicalElapsed is engine (emulation wallclock) time at completion.
+	PhysicalElapsed simcore.Duration
+	// PerRank holds each rank's virtual elapsed time.
+	PerRank []simcore.Duration
+	// Traces are the Autopilot samples, by sensor name.
+	Traces map[string][]autopilot.Sample
+	// Net aggregates the network simulator's counters over the run.
+	Net netsim.NetStats
+	// HostUtilization reports each physical machine's busy fraction.
+	HostUtilization map[string]float64
+}
+
+// RunApp submits fn as a Globus job across all of the grid's virtual
+// hosts — discovered through the GIS, submitted to each host's
+// gatekeeper, spawned by jobmanagers — runs the simulation to completion,
+// and reports timings. It may be called once per MicroGrid (the engine is
+// consumed).
+func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts RunOptions) (*Report, error) {
+	if m.ran {
+		return nil, fmt.Errorf("core: MicroGrid already ran an application")
+	}
+	m.ran = true
+	rph := opts.RanksPerHost
+	if rph <= 0 {
+		rph = 1
+	}
+	// Rank r lives on host r mod len(Hosts): block-cyclic placement.
+	rankHosts := make([]string, 0, len(m.Hosts)*rph)
+	for i := 0; i < rph; i++ {
+		rankHosts = append(rankHosts, m.Hosts...)
+	}
+	n := len(rankHosts)
+	col := autopilot.NewCollector(m.Eng, m.Grid.Clock())
+	report := &Report{
+		Name:    name,
+		Rate:    m.Grid.Rate(),
+		PerRank: make([]simcore.Duration, n),
+		Traces:  make(map[string][]autopilot.Sample),
+	}
+
+	hostOf := func(r int) string { return rankHosts[r] }
+	if err := m.Registry.Register(name, func(ctx *globus.JobContext) error {
+		c, err := mpi.Connect(ctx.Proc, ctx.Rank, ctx.Count, ctx.BasePort, hostOf)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := ctx.Proc.Gettimeofday()
+		if err := fn(&AppContext{Comm: c, Proc: ctx.Proc, Collector: col}); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		report.PerRank[ctx.Rank] = ctx.Proc.Gettimeofday().Sub(start)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if opts.SamplePeriod > 0 {
+		if err := col.Start(opts.SamplePeriod); err != nil {
+			return nil, err
+		}
+	}
+
+	var submitErr error
+	client, err := m.Grid.Host(m.Hosts[0]).Spawn("globus-client", func(p *virtual.Process) {
+		defer col.Stop()
+		defer m.Grid.StopControllers()
+		cl := &globus.Client{Proc: p, Credential: opts.Credential}
+		hosts := globus.DiscoverHosts(m.GIS, m.ConfigName)
+		if len(hosts) != len(m.Hosts) {
+			submitErr = fmt.Errorf("core: GIS discovery found %d hosts, want %d", len(hosts), len(m.Hosts))
+			return
+		}
+		mj, err := cl.SubmitMPIJob(m.GIS, name, rankHosts, opts.BasePort)
+		if err != nil {
+			submitErr = err
+			return
+		}
+		if err := mj.WaitAll(); err != nil {
+			submitErr = err
+			return
+		}
+		report.PhysicalElapsed = simcore.Duration(p.Proc().Now())
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = client
+
+	if err := m.Eng.Run(); err != nil {
+		return nil, fmt.Errorf("core: simulation error: %w", err)
+	}
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	for _, d := range report.PerRank {
+		if d > report.VirtualElapsed {
+			report.VirtualElapsed = d
+		}
+	}
+	for _, sensor := range col.Names() {
+		report.Traces[sensor] = col.Trace(sensor)
+	}
+	report.Net = m.Grid.Network().Stats
+	report.HostUtilization = make(map[string]float64)
+	seen := map[string]bool{}
+	for _, name := range m.Hosts {
+		p := m.Grid.Host(name).Phys
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			report.HostUtilization[p.Name] = p.Utilization()
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,169 @@
+package cpusched
+
+import (
+	"microgrid/internal/simcore"
+)
+
+// FractionController is the paper's local MicroGrid CPU scheduler daemon
+// (Fig. 4): it allocates a fraction of the physical CPU to one job by
+// starting it for a quantum whenever its accumulated time lags
+// cpu_Fraction × elapsed, then stopping it. As in the paper, the daemon
+// charges the job the wall-clock length of each enabled window
+// (myUsedTime += stopTime - startTime), which is what makes enforcement
+// degrade under CPU competition.
+type FractionController struct {
+	Host     *Host
+	Job      *Task
+	Fraction float64
+	// Quantum is the enforcement window (Host.Quantum if zero). Fig. 11
+	// sweeps this.
+	Quantum simcore.Duration
+	// ChargeActualCPU, when true, charges the job its measured CPU time
+	// instead of wall time — an ablation of the paper's algorithm.
+	ChargeActualCPU bool
+	// AlwaysOn keeps the daemon cycling even while the job has no CPU
+	// demand, exactly like the real daemon (needed when measuring the
+	// daemon itself, as in Fig. 7's sleeping-process test). The default
+	// parks the daemon while the job is idle — idle time is excluded from
+	// the enforcement target, so behaviour is unchanged, but an idle
+	// virtual grid generates no events and the simulation can drain.
+	AlwaysOn bool
+	// StartDelay postpones the first window, modeling daemons launched at
+	// different times on different machines: with zero delays all hosts'
+	// windows are phase-aligned; staggered delays reproduce the
+	// phase-misalignment penalties of real deployments (Fig. 11).
+	StartDelay simcore.Duration
+	// DispatchJitter randomizes each control action's CPU cost by
+	// ±fraction (cache and interrupt-timing noise on a real kernel);
+	// Fig. 7's quanta-size deviations come from this plus preemption
+	// latency.
+	DispatchJitter float64
+	// OnQuantum observes each enabled window (for Fig. 7's distribution).
+	OnQuantum func(start simcore.Time, length simcore.Duration)
+
+	// daemonTask models the daemon's own (tiny) CPU needs; its dispatch
+	// latency is the source of quanta-size jitter.
+	daemonTask *Task
+	stopped    bool
+	usedTime   simcore.Duration
+	startTime  simcore.Time
+}
+
+// NewFractionController builds a controller for job on host. The job
+// starts suspended; the controller releases it in quantum windows.
+func NewFractionController(host *Host, job *Task, fraction float64) *FractionController {
+	fc := &FractionController{
+		Host:     host,
+		Job:      job,
+		Fraction: fraction,
+		Quantum:  host.Quantum,
+	}
+	fc.daemonTask = host.NewTask("mgrid-sched:" + job.Name)
+	job.Stop()
+	return fc
+}
+
+// UsedTime returns the time charged to the job so far.
+func (fc *FractionController) UsedTime() simcore.Duration { return fc.usedTime }
+
+// Elapsed returns wall time since the controller started.
+func (fc *FractionController) Elapsed(now simcore.Time) simcore.Duration {
+	return now.Sub(fc.startTime)
+}
+
+// Terminate stops the control loop (the job is left suspended).
+func (fc *FractionController) Terminate() { fc.stopped = true }
+
+// daemonOverheadOps is the CPU cost of one control action (signal + context
+// switch bookkeeping): ~25k ops ≈ 47 µs at 533 MIPS.
+const daemonOverheadOps = 25000
+
+// dispatchOps returns one control action's cost, with optional jitter.
+func (fc *FractionController) dispatchOps() float64 {
+	if fc.DispatchJitter <= 0 {
+		return daemonOverheadOps
+	}
+	j := 1 + fc.DispatchJitter*(2*fc.Host.eng.Rand().Float64()-1)
+	return daemonOverheadOps * j
+}
+
+// Run executes the control loop in process p until Terminate. It is the
+// direct analog of the paper's Figure-4 pseudo-code.
+func (fc *FractionController) Run(p *simcore.Proc) {
+	if fc.StartDelay > 0 {
+		p.Sleep(fc.StartDelay)
+	}
+	fc.startTime = p.Now()
+	for !fc.stopped {
+		if !fc.AlwaysOn && !fc.Job.HasDemand() {
+			idleStart := p.Now()
+			fc.Job.WaitDemand(p)
+			// Exclude the idle span from the enforcement target.
+			fc.startTime = fc.startTime.Add(p.Now().Sub(idleStart))
+			continue
+		}
+		elapsed := p.Now().Sub(fc.startTime)
+		target := simcore.Duration(fc.Fraction * float64(elapsed))
+		if fc.usedTime <= target {
+			// Behind target: run the job for one quantum.
+			fc.daemonTask.Compute(p, fc.dispatchOps()) // dispatch latency
+			start := p.Now()
+			cpu0 := fc.Job.UsedCPU()
+			fc.Job.Cont()
+			p.Sleep(fc.Quantum)
+			fc.daemonTask.Compute(p, fc.dispatchOps())
+			fc.Job.Stop()
+			stop := p.Now()
+			if fc.ChargeActualCPU {
+				fc.usedTime += fc.Job.UsedCPU() - cpu0
+			} else {
+				fc.usedTime += stop.Sub(start)
+			}
+			if fc.OnQuantum != nil {
+				fc.OnQuantum(start, stop.Sub(start))
+			}
+		} else {
+			// Ahead of target: idle one quantum.
+			p.Sleep(fc.Quantum)
+		}
+	}
+}
+
+// Spawn starts the controller loop as a daemon process on the engine.
+func (fc *FractionController) Spawn() *simcore.Proc {
+	pr := fc.Host.eng.Spawn("fraction:"+fc.Job.Name, fc.Run)
+	pr.SetDaemon(true)
+	return pr
+}
+
+// StartCPUCompetitor spawns the paper's computationally-intensive
+// competitor: continuous floating-point divisions, i.e. an endless busy
+// loop.
+func StartCPUCompetitor(h *Host, name string) *Task {
+	t := h.NewTask(name)
+	t.SetBusyLoop(true)
+	return t
+}
+
+// StartIOCompetitor spawns the paper's IO-intensive competitor: it
+// repeatedly "flushes a 1 MB buffer to disk", modeled as a short burst of
+// non-preemptible kernel CPU (copying/driver work) followed by sleeping on
+// the disk. Returns the controlling process.
+func StartIOCompetitor(h *Host, name string) *simcore.Proc {
+	user := h.NewTask(name)
+	kern := h.NewTask(name + ":kflush")
+	kern.Kernel = true
+	pr := h.eng.Spawn(name, func(p *simcore.Proc) {
+		rng := h.eng.Rand()
+		for {
+			// Prepare the buffer in user mode (~0.3 ms of CPU).
+			user.ComputeSeconds(p, 0.0003)
+			// Kernel-side flush: 0.2–1.2 ms non-preemptible.
+			kern.Compute(p, (0.0002+0.001*rng.Float64())*h.speedOps)
+			// Wait for the disk (5–12 ms).
+			p.Sleep(5*simcore.Millisecond + simcore.Duration(rng.Intn(7))*simcore.Millisecond)
+		}
+	})
+	pr.SetDaemon(true)
+	return pr
+}

@@ -1,0 +1,453 @@
+package cpusched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"microgrid/internal/simcore"
+)
+
+func TestComputeAloneTakesExpectedTime(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "alpha", 533, 0)
+	task := h.NewTask("job")
+	var done simcore.Time
+	eng.Spawn("job", func(p *simcore.Proc) {
+		task.Compute(p, 533e6) // one second of work at 533 MIPS
+		done = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(done.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("done at %v, want 1s", done)
+	}
+	if got := task.UsedCPU(); math.Abs(got.Seconds()-1.0) > 1e-6 {
+		t.Fatalf("UsedCPU = %v", got)
+	}
+}
+
+func TestComputeSeconds(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	task := h.NewTask("job")
+	eng.Spawn("job", func(p *simcore.Proc) {
+		task.ComputeSeconds(p, 0.25)
+		if math.Abs(p.Now().Seconds()-0.25) > 1e-6 {
+			t.Errorf("took %v, want 250ms", p.Now())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoEqualTasksShareFairly(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	a := h.NewTask("a")
+	b := h.NewTask("b")
+	var aDone, bDone simcore.Time
+	eng.Spawn("a", func(p *simcore.Proc) {
+		a.Compute(p, 100e6) // 1s alone
+		aDone = p.Now()
+	})
+	eng.Spawn("b", func(p *simcore.Proc) {
+		b.Compute(p, 100e6)
+		bDone = p.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both finish near 2s (perfect sharing), within a quantum or two.
+	for _, d := range []simcore.Time{aDone, bDone} {
+		if d.Seconds() < 1.9 || d.Seconds() > 2.1 {
+			t.Fatalf("finish times a=%v b=%v, want ≈2s", aDone, bDone)
+		}
+	}
+}
+
+func TestBusyLoopDoesNotStarveJob(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	StartCPUCompetitor(h, "hog")
+	job := h.NewTask("job")
+	var done simcore.Time
+	eng.Spawn("job", func(p *simcore.Proc) {
+		job.Compute(p, 100e6) // 1s alone → ~2s sharing with hog
+		done = p.Now()
+	})
+	eng.Spawn("stop", func(p *simcore.Proc) {
+		p.Sleep(10 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done == 0 {
+		t.Fatal("job never finished against busy loop")
+	}
+	if done.Seconds() < 1.8 || done.Seconds() > 2.3 {
+		t.Fatalf("job finished at %v, want ≈2s", done)
+	}
+}
+
+func TestStopContMechanics(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	job := h.NewTask("job")
+	var done simcore.Time
+	eng.Spawn("job", func(p *simcore.Proc) {
+		job.Compute(p, 100e6) // 1s of work
+		done = p.Now()
+	})
+	eng.Spawn("ctl", func(p *simcore.Proc) {
+		p.Sleep(500 * simcore.Millisecond)
+		job.Stop()
+		p.Sleep(2 * simcore.Second) // job frozen for 2s
+		job.Cont()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(done.Seconds()-3.0) > 0.01 {
+		t.Fatalf("done at %v, want ≈3s (0.5 run + 2 stopped + 0.5 run)", done)
+	}
+}
+
+func TestStopWhileRunningEndsSlice(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	job := h.NewTask("job")
+	eng.Spawn("job", func(p *simcore.Proc) {
+		job.Compute(p, 100e6)
+	})
+	eng.Spawn("ctl", func(p *simcore.Proc) {
+		p.Sleep(3 * simcore.Millisecond) // mid-slice
+		job.Stop()
+		used := job.UsedCPU()
+		if math.Abs(used.Seconds()-0.003) > 1e-6 {
+			t.Errorf("UsedCPU after mid-slice stop = %v, want 3ms", used)
+		}
+		job.Cont()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelTaskPreempts(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	hog := h.NewTask("hog")
+	hog.SetBusyLoop(true)
+	kern := h.NewTask("kern")
+	kern.Kernel = true
+	var kdone simcore.Time
+	eng.Spawn("k", func(p *simcore.Proc) {
+		p.Sleep(2 * simcore.Millisecond) // hog mid-slice
+		kern.Compute(p, 100e3)           // 1ms of kernel work
+		kdone = p.Now()
+	})
+	eng.Spawn("stop", func(p *simcore.Proc) {
+		p.Sleep(50 * simcore.Millisecond)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Kernel work preempts immediately: done at 2ms + 1ms.
+	if math.Abs(kdone.Seconds()-0.003) > 1e-6 {
+		t.Fatalf("kernel work done at %v, want 3ms", kdone)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 100, 0)
+	task := h.NewTask("t")
+	eng.Spawn("p", func(p *simcore.Proc) {
+		task.ComputeSeconds(p, 1)
+		p.Sleep(simcore.Second) // idle second
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := h.Utilization(); math.Abs(u-0.5) > 0.01 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestFractionControllerNoCompetition(t *testing.T) {
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		eng := simcore.NewEngine(1)
+		h := NewHost(eng, "h", 533, 0)
+		job := h.NewTask("job")
+		fc := NewFractionController(h, job, frac)
+		fc.Spawn()
+		jobProc := eng.Spawn("job", func(p *simcore.Proc) {
+			for {
+				job.ComputeSeconds(p, 1)
+			}
+		})
+		jobProc.SetDaemon(true)
+		eng.Spawn("end", func(p *simcore.Proc) {
+			p.Sleep(20 * simcore.Second)
+			eng.Stop()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got := job.UsedCPU().Seconds() / 20
+		if math.Abs(got-frac) > 0.05*frac+0.01 {
+			t.Errorf("fraction %.2f: delivered %.3f", frac, got)
+		}
+	}
+}
+
+func TestFractionControllerCPUCompetitionSaturates(t *testing.T) {
+	// Above ~50% requested, a busy-loop competitor prevents the virtual
+	// machine from receiving its specified fraction (paper Fig. 6).
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	StartCPUCompetitor(h, "hog")
+	job := h.NewTask("job")
+	fc := NewFractionController(h, job, 0.9)
+	fc.Spawn()
+	jp := eng.Spawn("job", func(p *simcore.Proc) {
+		for {
+			job.ComputeSeconds(p, 1)
+		}
+	})
+	jp.SetDaemon(true)
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(30 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := job.UsedCPU().Seconds() / 30
+	if got > 0.75 {
+		t.Fatalf("delivered %.3f at requested 0.9 under CPU competition; expected saturation below 0.75", got)
+	}
+	if got < 0.35 {
+		t.Fatalf("delivered %.3f is implausibly low", got)
+	}
+}
+
+func TestFractionControllerLowFractionUnaffectedByCompetition(t *testing.T) {
+	// At 20% requested, competition should not matter much (Fig. 6 below
+	// the knee).
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	StartCPUCompetitor(h, "hog")
+	job := h.NewTask("job")
+	fc := NewFractionController(h, job, 0.2)
+	fc.Spawn()
+	jp := eng.Spawn("job", func(p *simcore.Proc) {
+		for {
+			job.ComputeSeconds(p, 1)
+		}
+	})
+	jp.SetDaemon(true)
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(30 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := job.UsedCPU().Seconds() / 30
+	if math.Abs(got-0.2) > 0.05 {
+		t.Fatalf("delivered %.3f at requested 0.2 under competition", got)
+	}
+}
+
+func TestFractionControllerQuantumObserver(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	job := h.NewTask("job")
+	fc := NewFractionController(h, job, 0.5)
+	var lengths []simcore.Duration
+	fc.OnQuantum = func(_ simcore.Time, l simcore.Duration) { lengths = append(lengths, l) }
+	fc.Spawn()
+	jp := eng.Spawn("job", func(p *simcore.Proc) {
+		for {
+			job.ComputeSeconds(p, 1)
+		}
+	})
+	jp.SetDaemon(true)
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(2 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lengths) < 50 {
+		t.Fatalf("only %d quanta observed", len(lengths))
+	}
+	for _, l := range lengths {
+		if l < h.Quantum || l > h.Quantum+2*simcore.Millisecond {
+			t.Fatalf("quantum length %v outside [10ms, 12ms]", l)
+		}
+	}
+}
+
+func TestFractionControllerCustomQuantum(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	job := h.NewTask("job")
+	fc := NewFractionController(h, job, 0.5)
+	fc.Quantum = 2500 * simcore.Microsecond
+	count := 0
+	fc.OnQuantum = func(_ simcore.Time, _ simcore.Duration) { count++ }
+	fc.Spawn()
+	jp := eng.Spawn("job", func(p *simcore.Proc) {
+		for {
+			job.ComputeSeconds(p, 1)
+		}
+	})
+	jp.SetDaemon(true)
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ~50% duty at 2.5ms windows over 1s → ≈200 windows.
+	if count < 150 || count > 250 {
+		t.Fatalf("windows = %d, want ≈200", count)
+	}
+}
+
+func TestChargeActualCPUAblation(t *testing.T) {
+	// With a hog, wall-charging under-delivers; CPU-charging tracks the
+	// target more closely.
+	measure := func(chargeCPU bool) float64 {
+		eng := simcore.NewEngine(1)
+		h := NewHost(eng, "h", 533, 0)
+		StartCPUCompetitor(h, "hog")
+		job := h.NewTask("job")
+		fc := NewFractionController(h, job, 0.45)
+		fc.ChargeActualCPU = chargeCPU
+		fc.Spawn()
+		jp := eng.Spawn("job", func(p *simcore.Proc) {
+			for {
+				job.ComputeSeconds(p, 1)
+			}
+		})
+		jp.SetDaemon(true)
+		eng.Spawn("end", func(p *simcore.Proc) {
+			p.Sleep(30 * simcore.Second)
+			eng.Stop()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return job.UsedCPU().Seconds() / 30
+	}
+	wall := measure(false)
+	cpu := measure(true)
+	if cpu < wall {
+		t.Fatalf("CPU-charging (%.3f) should deliver at least wall-charging (%.3f)", cpu, wall)
+	}
+}
+
+func TestIOCompetitorRunsForever(t *testing.T) {
+	eng := simcore.NewEngine(3)
+	h := NewHost(eng, "h", 533, 0)
+	StartIOCompetitor(h, "io")
+	job := h.NewTask("job")
+	var done simcore.Time
+	eng.Spawn("job", func(p *simcore.Proc) {
+		job.ComputeSeconds(p, 1)
+		done = p.Now()
+	})
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(5 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// IO competitor uses ~10-20% CPU; job should finish in 1.0–1.5s.
+	if done == 0 || done.Seconds() > 1.5 {
+		t.Fatalf("job done at %v", done)
+	}
+}
+
+func TestNewHostValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero speed")
+		}
+	}()
+	NewHost(simcore.NewEngine(1), "h", 0, 0)
+}
+
+// Property: CPU time is conserved — total UsedCPU across tasks never
+// exceeds elapsed wall time, and a lone task's compute time is exact.
+func TestPropertyCPUConservation(t *testing.T) {
+	f := func(workUnits []uint8) bool {
+		if len(workUnits) == 0 || len(workUnits) > 6 {
+			return true
+		}
+		eng := simcore.NewEngine(5)
+		h := NewHost(eng, "h", 100, 0)
+		tasks := make([]*Task, len(workUnits))
+		for i, w := range workUnits {
+			tasks[i] = h.NewTask("t")
+			ops := float64(int(w)%50+1) * 1e6
+			task := tasks[i]
+			eng.Spawn("p", func(p *simcore.Proc) { task.Compute(p, ops) })
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		var total simcore.Duration
+		for _, task := range tasks {
+			total += task.UsedCPU()
+		}
+		elapsed := simcore.Duration(eng.Now())
+		// Conservation within a microsecond of rounding slack.
+		return total <= elapsed+simcore.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fraction enforcement without competition delivers the target
+// within tolerance for any fraction in (0.05, 0.95).
+func TestPropertyFractionDelivery(t *testing.T) {
+	f := func(fr uint8) bool {
+		frac := 0.05 + float64(fr%90)/100.0
+		eng := simcore.NewEngine(9)
+		h := NewHost(eng, "h", 533, 0)
+		job := h.NewTask("job")
+		fc := NewFractionController(h, job, frac)
+		fc.Spawn()
+		jp := eng.Spawn("job", func(p *simcore.Proc) {
+			for {
+				job.ComputeSeconds(p, 1)
+			}
+		})
+		jp.SetDaemon(true)
+		eng.Spawn("end", func(p *simcore.Proc) {
+			p.Sleep(10 * simcore.Second)
+			eng.Stop()
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		got := job.UsedCPU().Seconds() / 10
+		return math.Abs(got-frac) < 0.08*frac+0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

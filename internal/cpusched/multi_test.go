@@ -1,0 +1,228 @@
+package cpusched
+
+import (
+	"math"
+	"testing"
+
+	"microgrid/internal/simcore"
+)
+
+// multiSetup builds a host with a spawned MultiController and n jobs at
+// the given fractions, each with an endless compute loop.
+func multiSetup(t *testing.T, fractions []float64, seconds float64) []*ControlledJob {
+	t.Helper()
+	eng := simcore.NewEngine(5)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	mc.Spawn()
+	jobs := make([]*ControlledJob, len(fractions))
+	for i, f := range fractions {
+		task := h.NewTask("job")
+		job, err := mc.AddJob(task, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+		jp := eng.Spawn("loop", func(p *simcore.Proc) {
+			for {
+				task.Compute(p, 533e6)
+			}
+		})
+		jp.SetDaemon(true)
+	}
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(simcore.DurationOfSeconds(seconds))
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestMultiControllerSingleJob(t *testing.T) {
+	jobs := multiSetup(t, []float64{0.5}, 20)
+	got := jobs[0].Task.UsedCPU().Seconds() / 20
+	if math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("delivered %.3f, want 0.5", got)
+	}
+}
+
+func TestMultiControllerTwoEqualJobs(t *testing.T) {
+	jobs := multiSetup(t, []float64{0.25, 0.25}, 20)
+	for i, j := range jobs {
+		got := j.Task.UsedCPU().Seconds() / 20
+		if math.Abs(got-0.25) > 0.03 {
+			t.Fatalf("job %d delivered %.3f, want 0.25", i, got)
+		}
+	}
+}
+
+func TestMultiControllerUnequalJobs(t *testing.T) {
+	jobs := multiSetup(t, []float64{0.5, 0.2, 0.1}, 30)
+	want := []float64{0.5, 0.2, 0.1}
+	for i, j := range jobs {
+		got := j.Task.UsedCPU().Seconds() / 30
+		if math.Abs(got-want[i]) > 0.05*want[i]+0.02 {
+			t.Fatalf("job %d delivered %.3f, want %.2f", i, got, want[i])
+		}
+	}
+}
+
+func TestMultiControllerWindowsNeverOverlap(t *testing.T) {
+	eng := simcore.NewEngine(5)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	type window struct{ start, end simcore.Time }
+	var windows []window
+	for i := 0; i < 2; i++ {
+		task := h.NewTask("job")
+		job, err := mc.AddJob(task, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.OnQuantum = func(s simcore.Time, l simcore.Duration) {
+			windows = append(windows, window{s, s.Add(l)})
+		}
+		jp := eng.Spawn("loop", func(p *simcore.Proc) {
+			for {
+				task.Compute(p, 533e6)
+			}
+		})
+		jp.SetDaemon(true)
+	}
+	mc.Spawn()
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(2 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) < 50 {
+		t.Fatalf("only %d windows", len(windows))
+	}
+	// Windows arrive in grant order; consecutive ones must not overlap.
+	for i := 1; i < len(windows); i++ {
+		if windows[i].start < windows[i-1].end {
+			t.Fatalf("windows overlap: %v and %v", windows[i-1], windows[i])
+		}
+	}
+}
+
+func TestMultiControllerOversubscription(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	if _, err := mc.AddJob(h.NewTask("a"), 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.AddJob(h.NewTask("b"), 0.4); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	if _, err := mc.AddJob(h.NewTask("c"), 0); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := mc.AddJob(h.NewTask("d"), 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestMultiControllerRemoveFreesCapacity(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	j, err := mc.AddJob(h.NewTask("a"), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.RemoveJob(j)
+	if _, err := mc.AddJob(h.NewTask("b"), 0.9); err != nil {
+		t.Fatalf("capacity not freed: %v", err)
+	}
+}
+
+func TestMultiControllerJobAddedMidRunNoCatchUpBurst(t *testing.T) {
+	eng := simcore.NewEngine(5)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	mc.Spawn()
+	taskA := h.NewTask("a")
+	if _, err := mc.AddJob(taskA, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	ja := eng.Spawn("loopA", func(p *simcore.Proc) {
+		for {
+			taskA.Compute(p, 533e6)
+		}
+	})
+	ja.SetDaemon(true)
+	var taskB *Task
+	eng.Spawn("adder", func(p *simcore.Proc) {
+		p.Sleep(10 * simcore.Second)
+		taskB = h.NewTask("b")
+		if _, err := mc.AddJob(taskB, 0.3); err != nil {
+			t.Error(err)
+			return
+		}
+		jb := eng.Spawn("loopB", func(q *simcore.Proc) {
+			for {
+				taskB.Compute(q, 533e6)
+			}
+		})
+		jb.SetDaemon(true)
+	})
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(20 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// B existed for 10s at fraction 0.3 → ~3s of CPU; a catch-up burst
+	// against the daemon's start would have given ~6s.
+	got := taskB.UsedCPU().Seconds()
+	if math.Abs(got-3) > 0.3 {
+		t.Fatalf("late job used %.2fs CPU over 10s, want ≈3s", got)
+	}
+}
+
+func TestMultiControllerStartDelayIsPhaseShift(t *testing.T) {
+	eng := simcore.NewEngine(5)
+	h := NewHost(eng, "h", 533, 0)
+	mc := NewMultiController(h)
+	mc.StartDelay = 15 * simcore.Millisecond
+	task := h.NewTask("job")
+	job, err := mc.AddJob(task, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first simcore.Time = -1
+	job.OnQuantum = func(s simcore.Time, _ simcore.Duration) {
+		if first < 0 {
+			first = s
+		}
+	}
+	mc.Spawn()
+	jp := eng.Spawn("loop", func(p *simcore.Proc) {
+		for {
+			task.Compute(p, 533e6)
+		}
+	})
+	jp.SetDaemon(true)
+	eng.Spawn("end", func(p *simcore.Proc) {
+		p.Sleep(10 * simcore.Second)
+		eng.Stop()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first < simcore.Time(15*simcore.Millisecond) {
+		t.Fatalf("first window at %v", first)
+	}
+	// Still delivers the fraction (no deficit from the delay).
+	got := job.Task.UsedCPU().Seconds() / 10
+	if math.Abs(got-0.5) > 0.04 {
+		t.Fatalf("delivered %.3f", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package decomp provides the domain-decomposition arithmetic shared by
+// the parallel workloads (NPB kernels, CACTUS WaveToy): process-grid
+// factorizations, rank↔coordinate mappings and block splits.
+package decomp
+
+import "sort"
+
+// Factor2 splits p into the most square (px, py) with px·py == p, px ≥ py.
+func Factor2(p int) (int, int) {
+	best := 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			best = f
+		}
+	}
+	return p / best, best
+}
+
+// Factor3 splits p into a near-cubic (px, py, pz), px ≥ py ≥ pz.
+func Factor3(p int) (int, int, int) {
+	bestX, bestY, bestZ := p, 1, 1
+	bestScore := p * p
+	for x := 1; x <= p; x++ {
+		if p%x != 0 {
+			continue
+		}
+		rest := p / x
+		for y := 1; y <= rest; y++ {
+			if rest%y != 0 {
+				continue
+			}
+			z := rest / y
+			dims := []int{x, y, z}
+			sort.Ints(dims)
+			if score := dims[2] - dims[0]; score < bestScore {
+				bestScore = score
+				bestX, bestY, bestZ = dims[2], dims[1], dims[0]
+			}
+		}
+	}
+	return bestX, bestY, bestZ
+}
+
+// Coord3 is a position in a 3-D process grid.
+type Coord3 struct{ X, Y, Z int }
+
+// Rank3 locates rank r in the (px, py, pz) grid (x fastest).
+func Rank3(r, px, py, pz int) Coord3 {
+	return Coord3{X: r % px, Y: (r / px) % py, Z: r / (px * py)}
+}
+
+// Rank is the inverse of Rank3.
+func (c Coord3) Rank(px, py int) int { return c.X + px*(c.Y+py*c.Z) }
+
+// Chunk returns the size of rank r's share of n items split across p
+// ranks, remainder spread over the first ranks.
+func Chunk(n, p, r int) int {
+	base := n / p
+	if r < n%p {
+		return base + 1
+	}
+	return base
+}
+
+// Chunk64 is Chunk for int64 totals.
+func Chunk64(n int64, p, r int) int64 {
+	base := n / int64(p)
+	if int64(r) < n%int64(p) {
+		return base + 1
+	}
+	return base
+}

@@ -1,0 +1,70 @@
+package decomp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactor2(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 6: {3, 2}, 9: {3, 3}, 12: {4, 3}, 16: {4, 4}}
+	for p, want := range cases {
+		x, y := Factor2(p)
+		if x != want[0] || y != want[1] {
+			t.Errorf("Factor2(%d) = (%d,%d), want %v", p, x, y, want)
+		}
+	}
+}
+
+func TestFactor3Properties(t *testing.T) {
+	for p := 1; p <= 128; p++ {
+		x, y, z := Factor3(p)
+		if x*y*z != p || x < y || y < z {
+			t.Fatalf("Factor3(%d) = %d,%d,%d", p, x, y, z)
+		}
+	}
+	if x, y, z := Factor3(64); x != 4 || y != 4 || z != 4 {
+		t.Fatalf("Factor3(64) = %d,%d,%d", x, y, z)
+	}
+}
+
+func TestRank3RoundTrip(t *testing.T) {
+	px, py, pz := 3, 2, 2
+	for r := 0; r < px*py*pz; r++ {
+		c := Rank3(r, px, py, pz)
+		if c.Rank(px, py) != r {
+			t.Fatalf("round trip failed for %d: %+v", r, c)
+		}
+		if c.X >= px || c.Y >= py || c.Z >= pz {
+			t.Fatalf("coord out of range: %+v", c)
+		}
+	}
+}
+
+func TestPropertyChunk(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n, p := int(nRaw), int(pRaw%32)+1
+		sum, mn, mx := 0, n+1, -1
+		for r := 0; r < p; r++ {
+			c := Chunk(n, p, r)
+			sum += c
+			if c < mn {
+				mn = c
+			}
+			if c > mx {
+				mx = c
+			}
+		}
+		if sum != n || mx-mn > 1 {
+			return false
+		}
+		// Chunk64 agrees.
+		var sum64 int64
+		for r := 0; r < p; r++ {
+			sum64 += Chunk64(int64(n), p, r)
+		}
+		return sum64 == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package gis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter matches directory entries. Build filters with Eq/Present/And/...
+// or parse LDAP-style filter strings with ParseFilter.
+type Filter interface {
+	Matches(e *Entry) bool
+	String() string
+}
+
+type eqFilter struct {
+	attr, pattern string
+}
+
+// Eq matches entries where any value of attr equals pattern; '*' in the
+// pattern is a wildcard ("(cn=vm*)" semantics). Matching is
+// case-insensitive, as in LDAP.
+func Eq(attr, pattern string) Filter { return eqFilter{attr: attr, pattern: pattern} }
+
+func (f eqFilter) Matches(e *Entry) bool {
+	for _, v := range e.GetAll(f.attr) {
+		if wildcardMatch(strings.ToLower(f.pattern), strings.ToLower(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f eqFilter) String() string { return fmt.Sprintf("(%s=%s)", f.attr, f.pattern) }
+
+// wildcardMatch matches pattern (with '*' wildcards) against s.
+func wildcardMatch(pattern, s string) bool {
+	if !strings.Contains(pattern, "*") {
+		return pattern == s
+	}
+	parts := strings.Split(pattern, "*")
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		i := strings.Index(s, part)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(part):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+type presentFilter struct{ attr string }
+
+// Present matches entries having attr at all ("(attr=*)").
+func Present(attr string) Filter { return presentFilter{attr} }
+
+func (f presentFilter) Matches(e *Entry) bool { return e.Has(f.attr) }
+func (f presentFilter) String() string        { return fmt.Sprintf("(%s=*)", f.attr) }
+
+type andFilter struct{ fs []Filter }
+
+// And matches when every sub-filter matches.
+func And(fs ...Filter) Filter { return andFilter{fs} }
+
+func (f andFilter) Matches(e *Entry) bool {
+	for _, sub := range f.fs {
+		if !sub.Matches(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f andFilter) String() string { return combine("&", f.fs) }
+
+type orFilter struct{ fs []Filter }
+
+// Or matches when any sub-filter matches.
+func Or(fs ...Filter) Filter { return orFilter{fs} }
+
+func (f orFilter) Matches(e *Entry) bool {
+	for _, sub := range f.fs {
+		if sub.Matches(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f orFilter) String() string { return combine("|", f.fs) }
+
+type notFilter struct{ f Filter }
+
+// Not inverts a filter.
+func Not(f Filter) Filter { return notFilter{f} }
+
+func (f notFilter) Matches(e *Entry) bool { return !f.f.Matches(e) }
+func (f notFilter) String() string        { return "(!" + f.f.String() + ")" }
+
+func combine(op string, fs []Filter) string {
+	var b strings.Builder
+	b.WriteString("(" + op)
+	for _, f := range fs {
+		b.WriteString(f.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ParseFilter parses an LDAP-style filter string: equality with optional
+// '*' wildcards, presence, and &, |, ! combinators, e.g.
+// "(&(Is_Virtual_Resource=Yes)(Configuration_Name=Slow_CPU*))".
+func ParseFilter(s string) (Filter, error) {
+	p := &filterParser{s: s}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("gis: trailing input in filter %q at %d", s, p.i)
+	}
+	return f, nil
+}
+
+type filterParser struct {
+	s string
+	i int
+}
+
+func (p *filterParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *filterParser) parse() (Filter, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != '(' {
+		return nil, fmt.Errorf("gis: expected '(' at %d in %q", p.i, p.s)
+	}
+	p.i++
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("gis: unterminated filter %q", p.s)
+	}
+	switch p.s[p.i] {
+	case '&', '|':
+		op := p.s[p.i]
+		p.i++
+		var subs []Filter
+		for {
+			p.skipSpace()
+			if p.i < len(p.s) && p.s[p.i] == ')' {
+				p.i++
+				break
+			}
+			sub, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("gis: empty %c filter in %q", op, p.s)
+		}
+		if op == '&' {
+			return And(subs...), nil
+		}
+		return Or(subs...), nil
+	case '!':
+		p.i++
+		sub, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != ')' {
+			return nil, fmt.Errorf("gis: expected ')' after ! at %d in %q", p.i, p.s)
+		}
+		p.i++
+		return Not(sub), nil
+	default:
+		// (attr=value)
+		j := strings.IndexByte(p.s[p.i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("gis: expected '=' in %q at %d", p.s, p.i)
+		}
+		attr := strings.TrimSpace(p.s[p.i : p.i+j])
+		p.i += j + 1
+		k := strings.IndexByte(p.s[p.i:], ')')
+		if k < 0 {
+			return nil, fmt.Errorf("gis: expected ')' in %q at %d", p.s, p.i)
+		}
+		val := strings.TrimSpace(p.s[p.i : p.i+k])
+		p.i += k + 1
+		if attr == "" {
+			return nil, fmt.Errorf("gis: empty attribute in %q", p.s)
+		}
+		if val == "*" {
+			return Present(attr), nil
+		}
+		return Eq(attr, val), nil
+	}
+}

@@ -1,0 +1,93 @@
+package gis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLDIF serializes entries (sorted by the caller) in an LDIF-like
+// format: a "dn:" line followed by "attr: value" lines, blank-line
+// separated.
+func WriteLDIF(w io.Writer, entries []*Entry) error {
+	for i, e := range entries {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "dn: %s\n", e.DN); err != nil {
+			return err
+		}
+		for _, attr := range e.Attrs() {
+			for _, v := range e.GetAll(attr) {
+				if _, err := fmt.Fprintf(w, "%s: %s\n", attr, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DumpLDIF renders a whole server (sorted by DN) to a string.
+func DumpLDIF(s *Server) string {
+	var b strings.Builder
+	_ = WriteLDIF(&b, s.Search("", ScopeSubtree, nil))
+	return b.String()
+}
+
+// ParseLDIF reads entries from LDIF-like text. Lines starting with '#' are
+// comments; records are separated by blank lines.
+func ParseLDIF(r io.Reader) ([]*Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var entries []*Entry
+	var cur *Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			cur = nil
+			continue
+		}
+		i := strings.Index(line, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("gis: ldif line %d: missing ':' in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:i])
+		val := strings.TrimSpace(line[i+1:])
+		if strings.EqualFold(key, "dn") {
+			cur = NewEntry(DN(val))
+			entries = append(entries, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("gis: ldif line %d: attribute before dn", lineNo)
+		}
+		cur.Add(key, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// LoadLDIF parses LDIF text and adds every entry to the server.
+func LoadLDIF(s *Server, r io.Reader) error {
+	entries, err := ParseLDIF(r)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := s.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

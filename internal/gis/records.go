@@ -1,0 +1,310 @@
+package gis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"microgrid/internal/simcore"
+)
+
+// Attribute names used by the MicroGrid's GIS record extensions (paper
+// Fig. 3).
+const (
+	AttrIsVirtual      = "Is_Virtual_Resource"
+	AttrConfigName     = "Configuration_Name"
+	AttrMappedPhysical = "Mapped_Physical_Resource"
+	AttrCPUSpeed       = "CpuSpeed"
+	AttrMemorySize     = "MemorySize"
+	AttrNwType         = "nwType"
+	AttrSpeed          = "speed"
+	AttrVirtualIP      = "Virtual_IP"
+	AttrGatekeeperPort = "Gatekeeper_Port"
+)
+
+// VirtualHost is the decoded form of a virtual compute-resource record
+// ("hn=vm.ucsd.edu, ou=..." with Is_Virtual_Resource=Yes).
+type VirtualHost struct {
+	// Hostname is the virtual host name (the hn RDN value).
+	Hostname string
+	// OrgUnit is the "ou" the record sits under.
+	OrgUnit string
+	// ConfigName groups records belonging to one virtual grid.
+	ConfigName string
+	// MappedPhysical names the physical machine hosting this virtual host.
+	MappedPhysical string
+	// CPUSpeedMIPS is the virtual processor speed.
+	CPUSpeedMIPS float64
+	// MemoryBytes is the virtual memory capacity.
+	MemoryBytes int64
+	// VirtualIP is the host's address on the virtual network.
+	VirtualIP string
+	// GatekeeperPort, if nonzero, is where the host's Globus gatekeeper
+	// listens.
+	GatekeeperPort int
+}
+
+// DN returns the record's distinguished name.
+func (h VirtualHost) DN() DN {
+	return DN(fmt.Sprintf("hn=%s, ou=%s", h.Hostname, h.OrgUnit)).Normalize()
+}
+
+// Entry encodes the record with the paper's attribute extensions.
+func (h VirtualHost) Entry() *Entry {
+	e := NewEntry(h.DN())
+	e.Set(AttrIsVirtual, "Yes")
+	e.Set(AttrConfigName, h.ConfigName)
+	e.Set(AttrMappedPhysical, h.MappedPhysical)
+	e.Set(AttrCPUSpeed, strconv.FormatFloat(h.CPUSpeedMIPS, 'g', -1, 64))
+	e.Set(AttrMemorySize, FormatBytes(h.MemoryBytes))
+	if h.VirtualIP != "" {
+		e.Set(AttrVirtualIP, h.VirtualIP)
+	}
+	if h.GatekeeperPort != 0 {
+		e.Set(AttrGatekeeperPort, strconv.Itoa(h.GatekeeperPort))
+	}
+	return e
+}
+
+// ParseVirtualHost decodes a virtual host record.
+func ParseVirtualHost(e *Entry) (VirtualHost, error) {
+	var h VirtualHost
+	if !strings.EqualFold(e.Get(AttrIsVirtual), "yes") {
+		return h, fmt.Errorf("gis: %s is not a virtual resource", e.DN)
+	}
+	rdn := e.DN.RDN()
+	if !strings.HasPrefix(rdn, "hn=") {
+		return h, fmt.Errorf("gis: %s is not a host record", e.DN)
+	}
+	h.Hostname = strings.TrimPrefix(rdn, "hn=")
+	if p := e.DN.Parent(); strings.HasPrefix(string(p), "ou=") {
+		h.OrgUnit = strings.TrimPrefix(string(p.RDN()), "ou=")
+	}
+	h.ConfigName = e.Get(AttrConfigName)
+	h.MappedPhysical = e.Get(AttrMappedPhysical)
+	h.VirtualIP = e.Get(AttrVirtualIP)
+	if s := e.Get(AttrCPUSpeed); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return h, fmt.Errorf("gis: %s: bad CpuSpeed %q", e.DN, s)
+		}
+		h.CPUSpeedMIPS = v
+	}
+	if s := e.Get(AttrMemorySize); s != "" {
+		v, err := ParseBytes(s)
+		if err != nil {
+			return h, fmt.Errorf("gis: %s: %v", e.DN, err)
+		}
+		h.MemoryBytes = v
+	}
+	if s := e.Get(AttrGatekeeperPort); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return h, fmt.Errorf("gis: %s: bad Gatekeeper_Port %q", e.DN, s)
+		}
+		h.GatekeeperPort = v
+	}
+	return h, nil
+}
+
+// VirtualNetwork is the decoded form of a virtual network record
+// ("nn=1.11.11.0, nn=1.11.0.0, ou=..." with nwType/speed attributes).
+type VirtualNetwork struct {
+	// Prefix is the subnet (the nn RDN value, e.g. "1.11.11.0").
+	Prefix string
+	// Parent is the enclosing network prefix ("" for top level).
+	Parent string
+	// OrgUnit is the "ou" the record sits under.
+	OrgUnit string
+	// ConfigName groups records belonging to one virtual grid.
+	ConfigName string
+	// Type is the network type (LAN, WAN, ...).
+	Type string
+	// BandwidthBps and Delay decode the paper's "speed" attribute
+	// ("100Mbps 50ms").
+	BandwidthBps float64
+	Delay        simcore.Duration
+}
+
+// DN returns the record's distinguished name.
+func (n VirtualNetwork) DN() DN {
+	parts := []string{"nn=" + n.Prefix}
+	if n.Parent != "" {
+		parts = append(parts, "nn="+n.Parent)
+	}
+	parts = append(parts, "ou="+n.OrgUnit)
+	return DN(strings.Join(parts, ", ")).Normalize()
+}
+
+// Entry encodes the record with the paper's attribute extensions.
+func (n VirtualNetwork) Entry() *Entry {
+	e := NewEntry(n.DN())
+	e.Set(AttrIsVirtual, "Yes")
+	e.Set(AttrConfigName, n.ConfigName)
+	e.Set(AttrNwType, n.Type)
+	e.Set(AttrSpeed, FormatSpeed(n.BandwidthBps, n.Delay))
+	return e
+}
+
+// ParseVirtualNetwork decodes a virtual network record.
+func ParseVirtualNetwork(e *Entry) (VirtualNetwork, error) {
+	var n VirtualNetwork
+	if !strings.EqualFold(e.Get(AttrIsVirtual), "yes") {
+		return n, fmt.Errorf("gis: %s is not a virtual resource", e.DN)
+	}
+	rdn := e.DN.RDN()
+	if !strings.HasPrefix(rdn, "nn=") {
+		return n, fmt.Errorf("gis: %s is not a network record", e.DN)
+	}
+	n.Prefix = strings.TrimPrefix(rdn, "nn=")
+	parent := e.DN.Parent()
+	if strings.HasPrefix(string(parent.RDN()), "nn=") {
+		n.Parent = strings.TrimPrefix(parent.RDN(), "nn=")
+		parent = parent.Parent()
+	}
+	if strings.HasPrefix(string(parent.RDN()), "ou=") {
+		n.OrgUnit = strings.TrimPrefix(parent.RDN(), "ou=")
+	}
+	n.ConfigName = e.Get(AttrConfigName)
+	n.Type = e.Get(AttrNwType)
+	if s := e.Get(AttrSpeed); s != "" {
+		bw, d, err := ParseSpeed(s)
+		if err != nil {
+			return n, fmt.Errorf("gis: %s: %v", e.DN, err)
+		}
+		n.BandwidthBps, n.Delay = bw, d
+	}
+	return n, nil
+}
+
+// VirtualResources returns all virtual records in a configuration,
+// partitioned into hosts and networks.
+func VirtualResources(s *Server, configName string) ([]VirtualHost, []VirtualNetwork, error) {
+	filter := And(Eq(AttrIsVirtual, "Yes"), Eq(AttrConfigName, configName))
+	var hosts []VirtualHost
+	var nets []VirtualNetwork
+	for _, e := range s.Search("", ScopeSubtree, filter) {
+		switch {
+		case strings.HasPrefix(e.DN.RDN(), "hn="):
+			h, err := ParseVirtualHost(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			hosts = append(hosts, h)
+		case strings.HasPrefix(e.DN.RDN(), "nn="):
+			n, err := ParseVirtualNetwork(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			nets = append(nets, n)
+		}
+	}
+	return hosts, nets, nil
+}
+
+// ParseSpeed decodes the paper's speed attribute: a bandwidth
+// ("100Mbps", "622Mb/s", "1.2Gbps") optionally followed by a latency
+// ("50ms", "25us").
+func ParseSpeed(s string) (bps float64, delay simcore.Duration, err error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields) > 2 {
+		return 0, 0, fmt.Errorf("gis: bad speed %q", s)
+	}
+	bps, err = ParseBandwidth(fields[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(fields) == 2 {
+		delay, err = ParseLatency(fields[1])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return bps, delay, nil
+}
+
+// FormatSpeed renders a speed attribute value.
+func FormatSpeed(bps float64, delay simcore.Duration) string {
+	bw := ""
+	switch {
+	case bps >= 1e9 && bps == float64(int64(bps/1e9))*1e9:
+		bw = fmt.Sprintf("%gGbps", bps/1e9)
+	case bps >= 1e6:
+		bw = fmt.Sprintf("%gMbps", bps/1e6)
+	case bps >= 1e3:
+		bw = fmt.Sprintf("%gKbps", bps/1e3)
+	default:
+		bw = fmt.Sprintf("%gbps", bps)
+	}
+	if delay == 0 {
+		return bw
+	}
+	return bw + " " + delay.String()
+}
+
+// ParseBandwidth decodes "100Mbps", "1.2Gb/s", "622Mb/s", "56Kbps", "9600bps".
+func ParseBandwidth(s string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "/s")
+	t = strings.TrimSuffix(t, "ps")
+	t = strings.TrimSuffix(t, "b") // now a number with optional k/m/g
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1e3, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1e6, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1e9, t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("gis: bad bandwidth %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseLatency decodes "50ms", "25us", "1.5s".
+func ParseLatency(s string) (simcore.Duration, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("gis: bad latency %q", s)
+	}
+	return d, nil
+}
+
+// ParseBytes decodes "100MBytes", "512KB", "1GB", "2048" (bytes).
+func ParseBytes(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "bytes")
+	t = strings.TrimSuffix(t, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("gis: bad byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatBytes renders a byte count in the record style ("100MBytes").
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGBytes", n/(1<<30))
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMBytes", n/(1<<20))
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKBytes", n/(1<<10))
+	default:
+		return fmt.Sprintf("%dBytes", n)
+	}
+}

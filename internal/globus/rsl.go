@@ -1,0 +1,124 @@
+// Package globus is the Grid middleware substrate the MicroGrid runs
+// underneath applications: a Globus-1.1-shaped stack with gatekeepers,
+// jobmanagers, an RSL subset, a gridmap authorization file, and GIS (MDS)
+// registration. As in the paper, "all gatekeeper, jobmanager and client
+// processes run on virtual hosts", so job submission crosses from the
+// physical into the virtual domain through the virtual gatekeeper, and
+// process creation is captured through the Globus resource-management
+// mechanisms.
+package globus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RSL is a parsed Resource Specification Language request — the
+// "&(attribute=value)..." conjunctions Globus GRAM used.
+type RSL struct {
+	attrs map[string]string
+	order []string
+}
+
+// NewRSL builds an RSL from attribute pairs.
+func NewRSL(pairs ...[2]string) *RSL {
+	r := &RSL{attrs: make(map[string]string)}
+	for _, p := range pairs {
+		r.Set(p[0], p[1])
+	}
+	return r
+}
+
+// Set assigns an attribute.
+func (r *RSL) Set(key, value string) *RSL {
+	k := strings.ToLower(key)
+	if _, ok := r.attrs[k]; !ok {
+		r.order = append(r.order, k)
+	}
+	r.attrs[k] = value
+	return r
+}
+
+// Get returns an attribute value ("" if absent).
+func (r *RSL) Get(key string) string { return r.attrs[strings.ToLower(key)] }
+
+// Executable returns the executable attribute.
+func (r *RSL) Executable() string { return r.Get("executable") }
+
+// Count returns the process count (default 1).
+func (r *RSL) Count() int {
+	if s := r.Get("count"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// Arguments returns the space-split arguments attribute.
+func (r *RSL) Arguments() []string {
+	s := r.Get("arguments")
+	if s == "" {
+		return nil
+	}
+	return strings.Fields(s)
+}
+
+// String renders the canonical "&(k=v)(k=v)" form.
+func (r *RSL) String() string {
+	var b strings.Builder
+	b.WriteString("&")
+	for _, k := range r.order {
+		fmt.Fprintf(&b, "(%s=%s)", k, r.attrs[k])
+	}
+	return b.String()
+}
+
+// Attrs returns attribute keys in insertion order.
+func (r *RSL) Attrs() []string { return append([]string(nil), r.order...) }
+
+// SortedAttrs returns attribute keys sorted (for stable comparisons).
+func (r *RSL) SortedAttrs() []string {
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// ParseRSL parses the RSL subset: '&' followed by (key=value) clauses.
+// Values may contain any characters except ')'. A missing leading '&' is
+// tolerated for single-clause requests.
+func ParseRSL(s string) (*RSL, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "&")
+	r := &RSL{attrs: make(map[string]string)}
+	i := 0
+	for i < len(t) {
+		for i < len(t) && (t[i] == ' ' || t[i] == '\t' || t[i] == '\n') {
+			i++
+		}
+		if i >= len(t) {
+			break
+		}
+		if t[i] != '(' {
+			return nil, fmt.Errorf("globus: RSL: expected '(' at %d in %q", i, s)
+		}
+		end := strings.IndexByte(t[i:], ')')
+		if end < 0 {
+			return nil, fmt.Errorf("globus: RSL: unterminated clause in %q", s)
+		}
+		clause := t[i+1 : i+end]
+		i += end + 1
+		k, v, ok := strings.Cut(clause, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("globus: RSL: bad clause %q in %q", clause, s)
+		}
+		r.Set(k, strings.TrimSpace(v))
+	}
+	if len(r.attrs) == 0 {
+		return nil, fmt.Errorf("globus: RSL: no clauses in %q", s)
+	}
+	return r, nil
+}

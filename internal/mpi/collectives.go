@@ -1,0 +1,206 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Internal tags for collective operations. User tags are non-negative, so
+// the ranges cannot collide. Blocking semantics on both ends order
+// successive collectives on each connection, so fixed tags are safe.
+const (
+	tagBarrier = -(100 + iota)
+	tagBcast
+	tagReduce
+	tagAllgather
+	tagAlltoall
+	tagGather
+)
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 n) rounds of 8-byte messages).
+func (c *Comm) Barrier() error {
+	n := c.size
+	if n == 1 {
+		return nil
+	}
+	rounds := int(math.Ceil(math.Log2(float64(n))))
+	for k := 0; k < rounds; k++ {
+		dist := 1 << k
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		tag := tagBarrier - 10*k
+		if _, _, err := c.Sendrecv(to, tag, 8, nil, from, tag); err != nil {
+			return fmt.Errorf("mpi: barrier round %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Bcast sends size bytes (and data) from root to every rank along a
+// binomial tree; non-root ranks return the received data.
+func (c *Comm) Bcast(root, size int, data any) (any, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: bcast invalid root %d", root)
+	}
+	n := c.size
+	if n == 1 {
+		return data, nil
+	}
+	// Rotate so the root is virtual rank 0.
+	vr := (c.rank - root + n) % n
+	if vr != 0 {
+		// Receive from parent.
+		parent := ((vr - 1) / 2) // binary tree on virtual ranks
+		src := (parent + root) % n
+		got, _, err := c.Recv(src, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		data = got
+	}
+	for _, child := range []int{2*vr + 1, 2*vr + 2} {
+		if child >= n {
+			continue
+		}
+		dst := (child + root) % n
+		if err := c.send(dst, tagBcast, size, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// ReduceFloat64 combines each rank's vector elementwise with op at root.
+// Non-root ranks return nil. Vector length must match across ranks.
+func (c *Comm) ReduceFloat64(root int, vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: reduce invalid root %d", root)
+	}
+	n := c.size
+	acc := append([]float64(nil), vals...)
+	size := 8 * len(vals)
+	vr := (c.rank - root + n) % n
+	// Binomial gather: at round k, virtual ranks with bit k set send to
+	// (vr - 2^k) and exit; others may receive.
+	for k := 0; (1 << k) < n; k++ {
+		bit := 1 << k
+		if vr&bit != 0 {
+			dst := ((vr - bit) + root) % n
+			return nil, c.send(dst, tagReduce-10*k, size, acc)
+		}
+		if vr+bit < n {
+			got, _, err := c.Recv(((vr+bit)+root)%n, tagReduce-10*k)
+			if err != nil {
+				return nil, err
+			}
+			other := got.([]float64)
+			if len(other) != len(acc) {
+				return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(other), len(acc))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceFloat64 is ReduceFloat64 to rank 0 followed by a broadcast;
+// every rank returns the combined vector.
+func (c *Comm) AllreduceFloat64(vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	acc, err := c.ReduceFloat64(0, vals, op)
+	if err != nil {
+		return nil, err
+	}
+	got, err := c.Bcast(0, 8*len(vals), acc)
+	if err != nil {
+		return nil, err
+	}
+	return got.([]float64), nil
+}
+
+// Sum and Max are common reduction operators.
+func Sum(a, b float64) float64 { return a + b }
+
+// MaxOp returns the larger of a and b.
+func MaxOp(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Allgather collects each rank's size-byte contribution (with data) at
+// every rank, returned indexed by rank. Ring algorithm: n-1 steps.
+func (c *Comm) Allgather(size int, data any) ([]any, error) {
+	n := c.size
+	out := make([]any, n)
+	out[c.rank] = data
+	if n == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	// Pass rank (c.rank - s)'s block around the ring.
+	cur := data
+	curIdx := c.rank
+	for s := 0; s < n-1; s++ {
+		got, _, err := c.Sendrecv(right, tagAllgather, size, &agBlock{idx: curIdx, data: cur}, left, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		blk := got.(*agBlock)
+		out[blk.idx] = blk.data
+		cur, curIdx = blk.data, blk.idx
+	}
+	return out, nil
+}
+
+type agBlock struct {
+	idx  int
+	data any
+}
+
+// Alltoallv exchanges personalized data: sizes[j] bytes (and data[j]) go
+// to rank j. Returns received data indexed by source rank. Pairwise
+// exchange: n-1 steps of simultaneous send/recv.
+func (c *Comm) Alltoallv(sizes []int, data []any) ([]any, error) {
+	n := c.size
+	if len(sizes) != n || len(data) != n {
+		return nil, fmt.Errorf("mpi: alltoallv needs %d entries, got %d/%d", n, len(sizes), len(data))
+	}
+	out := make([]any, n)
+	out[c.rank] = data[c.rank]
+	for s := 1; s < n; s++ {
+		dst := (c.rank + s) % n
+		src := (c.rank - s + n) % n
+		got, _, err := c.Sendrecv(dst, tagAlltoall, sizes[dst], data[dst], src, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = got
+	}
+	return out, nil
+}
+
+// Gather collects size-byte contributions at root (returned indexed by
+// rank at root; nil elsewhere). Linear algorithm.
+func (c *Comm) Gather(root, size int, data any) ([]any, error) {
+	if root < 0 || root >= c.size {
+		return nil, fmt.Errorf("mpi: gather invalid root %d", root)
+	}
+	if c.rank != root {
+		return nil, c.send(root, tagGather, size, data)
+	}
+	out := make([]any, c.size)
+	out[c.rank] = data
+	for i := 0; i < c.size-1; i++ {
+		got, st, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source] = got
+	}
+	return out, nil
+}

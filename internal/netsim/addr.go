@@ -1,0 +1,61 @@
+// Package netsim is a packet-level online network simulator: the analog of
+// the modified VINT/NSE simulator the MicroGrid paper integrated (§2.4.2).
+// It models arbitrary topologies of hosts, routers and links; links have
+// bandwidth, propagation delay, drop-tail queues and an MTU; routing is
+// static shortest-path; and two transports are provided — unreliable
+// datagrams and a TCP-Reno-like reliable byte stream with message framing.
+//
+// All behaviour is in simulated time on a simcore.Engine, so the simulator
+// "delivers the communications to each destination according to the network
+// topology at the expected time", which is the property the MicroGrid
+// requires of its network component.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4-style address. Virtual grid hosts get addresses like
+// 1.11.11.2 (as in the paper's GIS records); the zero Addr is invalid.
+type Addr uint32
+
+// Port identifies a transport endpoint within a node.
+type Port uint16
+
+// MakeAddr builds an Addr from four octets.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses dotted-quad notation ("1.11.11.2").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: invalid address %q", s)
+	}
+	var octets [4]byte
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netsim: invalid address %q", s)
+		}
+		octets[i] = byte(v)
+	}
+	return MakeAddr(octets[0], octets[1], octets[2], octets[3]), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for literals in tests
+// and configuration tables.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import "microgrid/internal/simcore"
+
+// Link failure injection: Grid environments "exhibit extreme heterogeneity
+// of configuration, performance, and reliability" (paper §1); adaptive
+// middleware studies need links that fail and recover. A downed link
+// drops everything in flight and in queue; routes recompute around it.
+
+// SetDown changes the link's failure state. Taking a link down drops its
+// queued packets; routes are recomputed either way so traffic immediately
+// uses (or reclaims) the path.
+func (l *Link) SetDown(down bool) {
+	if l.down == down {
+		return
+	}
+	l.down = down
+	l.ab.setDown(down)
+	l.ba.setDown(down)
+	nw := l.A.net
+	nw.ComputeRoutes()
+}
+
+// Down reports the link's failure state.
+func (l *Link) Down() bool { return l.down }
+
+// ScheduleFailure takes the link down at 'at' and restores it after
+// 'duration' (no restore if duration ≤ 0).
+func (l *Link) ScheduleFailure(at simcore.Time, duration simcore.Duration) {
+	eng := l.A.net.eng
+	eng.At(at, func() { l.SetDown(true) })
+	if duration > 0 {
+		eng.At(at.Add(duration), func() { l.SetDown(false) })
+	}
+}
+
+func (c *channel) setDown(down bool) {
+	c.down = down
+	if down {
+		// Everything queued or in flight is lost.
+		c.Dropped += int64(len(c.queue))
+		c.net.Stats.PacketsDropped += int64(len(c.queue))
+		c.queue = nil
+		c.queuedBytes = 0
+		c.epoch++
+		c.busy = false
+	}
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"math"
+
+	"microgrid/internal/simcore"
+)
+
+// Flow mode is the fast/low-fidelity end of the paper's future-work axis
+// "exploring a range of simulation speed and fidelity" (§5): instead of
+// simulating every packet, ack and queue, data transfers complete
+// analytically at
+//
+//	arrival = departure + size/bottleneck + path propagation
+//
+// with per-connection serialization (back-to-back sends queue behind each
+// other). Congestion between flows, slow start, loss and retransmission
+// are not modeled — that is the fidelity trade. Connection handshakes and
+// FINs still use the packet path, so setup costs and teardown semantics
+// are preserved.
+
+// SetFlowMode switches the data path between packet-level (false, the
+// default) and analytic flow-level (true). Set it before traffic flows.
+func (n *Network) SetFlowMode(on bool) { n.flowMode = on }
+
+// FlowMode reports the current mode.
+func (n *Network) FlowMode() bool { return n.flowMode }
+
+// flowSend delivers a message analytically. Called from Conn.Send when
+// flow mode is on, after establishment and buffer accounting.
+func (c *Conn) flowSend(size int, payload any) error {
+	eng := c.node.net.eng
+	if c.flowDelay == 0 {
+		src := c.node
+		dst := c.node.net.NodeByAddr(c.key.remote)
+		d, _, ok := c.node.net.PathDelay(src, dst)
+		if !ok {
+			return ErrClosed
+		}
+		bw, _ := c.node.net.PathBottleneckBps(src, dst)
+		c.flowDelay = d
+		c.flowBps = bw
+	}
+	wire := size
+	if wire == 0 {
+		wire = 1
+	}
+	// Segment header overhead, as the packet path would pay. Loopback
+	// paths have infinite bandwidth: transmission is instantaneous.
+	segs := (wire + c.mss - 1) / c.mss
+	var tx simcore.Duration
+	if !math.IsInf(c.flowBps, 1) && c.flowBps > 0 {
+		tx = simcore.DurationOfSeconds(float64(wire+segs*HeaderBytes) * 8 / c.flowBps)
+	}
+	start := eng.Now()
+	if c.flowBusyUntil > start {
+		start = c.flowBusyUntil
+	}
+	end := start.Add(tx)
+	c.flowBusyUntil = end
+	arrival := end.Add(c.flowDelay)
+	peer := c.peer
+	c.Stats.SegmentsSent += int64(segs)
+	eng.At(arrival, func() {
+		if peer == nil || peer.rcvQ.Closed() {
+			return
+		}
+		peer.rcvQ.TryPut(Message{Size: size, Payload: payload})
+	})
+	return nil
+}

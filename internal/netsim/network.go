@@ -1,0 +1,349 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"microgrid/internal/simcore"
+)
+
+// Default link parameters.
+const (
+	// DefaultMTU is the Ethernet MTU; transports derive their MSS from it.
+	DefaultMTU = 1500
+	// DefaultQueueBytes is the drop-tail queue capacity per link direction.
+	DefaultQueueBytes = 128 * 1024
+	// HeaderBytes is the per-packet TCP/IP header overhead.
+	HeaderBytes = 40
+)
+
+// LinkConfig describes one link. The zero value is completed with defaults
+// by Connect.
+type LinkConfig struct {
+	// BandwidthBps is the data rate in bits per second (required, > 0).
+	BandwidthBps float64
+	// Delay is the one-way propagation delay.
+	Delay simcore.Duration
+	// QueueBytes is the per-direction drop-tail queue capacity
+	// (DefaultQueueBytes if zero).
+	QueueBytes int
+	// MTU is the maximum packet size in bytes (DefaultMTU if zero).
+	MTU int
+	// LossProb drops each packet independently with this probability,
+	// for fault-injection tests.
+	LossProb float64
+}
+
+// Network is a simulated internetwork bound to an engine.
+type Network struct {
+	eng      *simcore.Engine
+	nodes    map[string]*Node
+	byAddr   map[Addr]*Node
+	links    []*Link
+	autoID   uint32
+	routed   bool
+	flowMode bool
+	// Stats aggregates network-wide counters.
+	Stats NetStats
+}
+
+// NetStats aggregates counters across the network.
+type NetStats struct {
+	PacketsSent      int64
+	PacketsDelivered int64
+	PacketsDropped   int64
+	PacketsLost      int64 // random loss injection
+	BytesDelivered   int64
+}
+
+// New returns an empty network on eng.
+func New(eng *simcore.Engine) *Network {
+	return &Network{
+		eng:    eng,
+		nodes:  make(map[string]*Node),
+		byAddr: make(map[Addr]*Node),
+	}
+}
+
+// Engine returns the engine the network runs on.
+func (n *Network) Engine() *simcore.Engine { return n.eng }
+
+// Node is a host or router.
+type Node struct {
+	net        *Network
+	Name       string
+	Addr       Addr
+	Router     bool
+	ifaces     []*iface
+	routes     map[Addr]*iface // destination → outgoing channel
+	handlers   map[Port]DatagramHandler
+	listeners  map[Port]*Listener
+	conns      map[connKey]*Conn
+	dgramFrags map[dgramKey]*dgramState
+	nextPort   Port
+	// Stats per node.
+	Delivered int64
+	Forwarded int64
+}
+
+// iface is one direction of attachment: sending on it transmits over ch.
+type iface struct {
+	node *Node
+	ch   *channel
+}
+
+// Link is a full-duplex link between two nodes, made of two independent
+// directed channels.
+type Link struct {
+	A, B   *Node
+	Config LinkConfig
+	ab, ba *channel
+	down   bool
+}
+
+// AddHost adds a host node with a fixed address.
+func (n *Network) AddHost(name string, addr Addr) *Node {
+	return n.addNode(name, addr, false)
+}
+
+// AddRouter adds a router node; it receives an auto-assigned address in
+// 240.0.0.0/8 (never used as a packet destination by applications).
+func (n *Network) AddRouter(name string) *Node {
+	n.autoID++
+	return n.addNode(name, MakeAddr(240, byte(n.autoID>>16), byte(n.autoID>>8), byte(n.autoID)), true)
+}
+
+func (n *Network) addNode(name string, addr Addr, router bool) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node name %q", name))
+	}
+	if _, dup := n.byAddr[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate address %v", addr))
+	}
+	nd := &Node{
+		net:       n,
+		Name:      name,
+		Addr:      addr,
+		Router:    router,
+		routes:    make(map[Addr]*iface),
+		handlers:  make(map[Port]DatagramHandler),
+		listeners: make(map[Port]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  49152,
+	}
+	n.nodes[name] = nd
+	n.byAddr[addr] = nd
+	n.routed = false
+	return nd
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// NodeByAddr returns the node owning addr, or nil.
+func (n *Network) NodeByAddr(a Addr) *Node { return n.byAddr[a] }
+
+// Nodes returns all nodes sorted by name.
+func (n *Network) Nodes() []*Node {
+	out := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		out = append(out, nd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect joins a and b with a full-duplex link. Defaults are applied to
+// zero fields of cfg.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: link requires positive bandwidth")
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = DefaultMTU
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	l := &Link{A: a, B: b, Config: cfg}
+	l.ab = newChannel(n, fmt.Sprintf("%s->%s", a.Name, b.Name), b, cfg)
+	l.ba = newChannel(n, fmt.Sprintf("%s->%s", b.Name, a.Name), a, cfg)
+	a.ifaces = append(a.ifaces, &iface{node: a, ch: l.ab})
+	b.ifaces = append(b.ifaces, &iface{node: b, ch: l.ba})
+	n.links = append(n.links, l)
+	n.routed = false
+	return l
+}
+
+// ComputeRoutes builds static next-hop tables via Dijkstra shortest paths.
+// The per-link cost is its propagation delay plus a small per-hop penalty,
+// so equal-delay paths prefer fewer hops. It must be called after topology
+// changes and before traffic flows; transports call it lazily too.
+func (n *Network) ComputeRoutes() {
+	nodes := n.Nodes()
+	const hopPenalty = simcore.Microsecond
+	for _, src := range nodes {
+		// Dijkstra from src.
+		dist := map[*Node]simcore.Duration{src: 0}
+		first := map[*Node]*iface{} // first hop iface from src
+		visited := map[*Node]bool{}
+		for {
+			// Extract the unvisited node with the smallest distance;
+			// iterate deterministically by name.
+			var u *Node
+			var best simcore.Duration
+			for _, cand := range nodes {
+				if visited[cand] {
+					continue
+				}
+				d, ok := dist[cand]
+				if !ok {
+					continue
+				}
+				if u == nil || d < best || (d == best && cand.Name < u.Name) {
+					u, best = cand, d
+				}
+			}
+			if u == nil {
+				break
+			}
+			visited[u] = true
+			for _, ifc := range u.ifaces {
+				if ifc.ch.down {
+					continue
+				}
+				v := ifc.ch.dst
+				cost := best + ifc.ch.cfg.Delay + hopPenalty
+				if d, ok := dist[v]; !ok || cost < d {
+					dist[v] = cost
+					if u == src {
+						first[v] = ifc
+					} else {
+						first[v] = first[u]
+					}
+				}
+			}
+		}
+		src.routes = make(map[Addr]*iface)
+		for v, ifc := range first {
+			src.routes[v.Addr] = ifc
+		}
+	}
+	n.routed = true
+}
+
+// PathDelay returns the summed propagation delay of the routed path from a
+// to b, and the hop count; ok is false if unreachable.
+func (n *Network) PathDelay(a, b *Node) (simcore.Duration, int, bool) {
+	if !n.routed {
+		n.ComputeRoutes()
+	}
+	var total simcore.Duration
+	hops := 0
+	cur := a
+	for cur != b {
+		ifc, ok := cur.routes[b.Addr]
+		if !ok {
+			return 0, 0, false
+		}
+		total += ifc.ch.cfg.Delay
+		cur = ifc.ch.dst
+		hops++
+		if hops > len(n.nodes) {
+			return 0, 0, false // routing loop
+		}
+	}
+	return total, hops, true
+}
+
+// PathBottleneckBps returns the minimum link bandwidth along the routed
+// path from a to b; ok is false if unreachable. A loopback path (a == b)
+// has no bandwidth constraint and reports +Inf.
+func (n *Network) PathBottleneckBps(a, b *Node) (float64, bool) {
+	if !n.routed {
+		n.ComputeRoutes()
+	}
+	if a == b {
+		return math.Inf(1), true
+	}
+	bw := 0.0
+	cur := a
+	hops := 0
+	for cur != b {
+		ifc, ok := cur.routes[b.Addr]
+		if !ok {
+			return 0, false
+		}
+		if bw == 0 || ifc.ch.cfg.BandwidthBps < bw {
+			bw = ifc.ch.cfg.BandwidthBps
+		}
+		cur = ifc.ch.dst
+		hops++
+		if hops > len(n.nodes) {
+			return 0, false
+		}
+	}
+	return bw, true
+}
+
+// DirectionStats reports one link direction's counters.
+type DirectionStats struct {
+	// From and To name the direction.
+	From, To string
+	// Sent/Dropped/Lost are packet counters; BytesSent is the volume.
+	Sent, Dropped, Lost int64
+	BytesSent           int64
+	// Utilization is the fraction of elapsed time the direction spent
+	// serializing packets.
+	Utilization float64
+}
+
+// Stats returns both directions' counters, A→B first.
+func (l *Link) Stats() [2]DirectionStats {
+	mk := func(c *channel, from, to string) DirectionStats {
+		util := 0.0
+		if now := c.net.eng.Now(); now > 0 {
+			util = float64(c.busyTime) / float64(now)
+		}
+		return DirectionStats{
+			From: from, To: to,
+			Sent: c.Sent, Dropped: c.Dropped, Lost: c.Lost,
+			BytesSent:   c.BytesSent,
+			Utilization: util,
+		}
+	}
+	return [2]DirectionStats{
+		mk(l.ab, l.A.Name, l.B.Name),
+		mk(l.ba, l.B.Name, l.A.Name),
+	}
+}
+
+// PathMTU returns the minimum MTU along the routed path from a to b
+// (DefaultMTU if a == b); ok is false if unreachable.
+func (n *Network) PathMTU(a, b *Node) (int, bool) {
+	if !n.routed {
+		n.ComputeRoutes()
+	}
+	mtu := DefaultMTU
+	cur := a
+	hops := 0
+	for cur != b {
+		ifc, ok := cur.routes[b.Addr]
+		if !ok {
+			return 0, false
+		}
+		if ifc.ch.cfg.MTU < mtu {
+			mtu = ifc.ch.cfg.MTU
+		}
+		cur = ifc.ch.dst
+		hops++
+		if hops > len(n.nodes) {
+			return 0, false
+		}
+	}
+	return mtu, true
+}

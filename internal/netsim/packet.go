@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"fmt"
+
+	"microgrid/internal/simcore"
+)
+
+// packetKind discriminates transport packet types.
+type packetKind int
+
+const (
+	kindDatagram packetKind = iota
+	kindSYN
+	kindSYNACK
+	kindACK // pure ack
+	kindData
+	kindFIN
+)
+
+func (k packetKind) String() string {
+	switch k {
+	case kindDatagram:
+		return "DGRAM"
+	case kindSYN:
+		return "SYN"
+	case kindSYNACK:
+		return "SYNACK"
+	case kindACK:
+		return "ACK"
+	case kindData:
+		return "DATA"
+	case kindFIN:
+		return "FIN"
+	}
+	return "?"
+}
+
+// Packet is the unit of transmission. Size includes header overhead.
+type Packet struct {
+	Src, Dst         Addr
+	SrcPort, DstPort Port
+	Kind             packetKind
+	Size             int
+	// Seq is the first byte sequence number (kindData) or datagram
+	// fragment index; Ack is the cumulative acknowledgment.
+	Seq, Ack int64
+	// FragTotal is the number of fragments in a datagram (kindDatagram).
+	FragTotal int
+	// Payload carries opaque application metadata on the final fragment.
+	Payload any
+	ttl     int
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %v:%d->%v:%d seq=%d ack=%d %dB",
+		p.Kind, p.Src, p.SrcPort, p.Dst, p.DstPort, p.Seq, p.Ack, p.Size)
+}
+
+const defaultTTL = 64
+
+// channel is one direction of a link: a drop-tail queue feeding a
+// serializer, then fixed propagation delay to dst.
+type channel struct {
+	net  *Network
+	name string
+	dst  *Node
+	cfg  LinkConfig
+	// queue holds packets awaiting serialization; queuedBytes tracks the
+	// drop-tail occupancy.
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+	// down marks a failed link direction; epoch invalidates in-flight
+	// transmissions when the link fails.
+	down  bool
+	epoch int64
+	// Stats
+	Sent, Dropped, Lost int64
+	BytesSent           int64
+	// busyTime accumulates serialization time for utilization reporting.
+	busyTime simcore.Duration
+}
+
+func newChannel(net *Network, name string, dst *Node, cfg LinkConfig) *channel {
+	return &channel{net: net, name: name, dst: dst, cfg: cfg}
+}
+
+// send enqueues pkt for transmission, applying drop-tail and random loss.
+func (c *channel) send(pkt *Packet) {
+	if c.down {
+		c.Dropped++
+		c.net.Stats.PacketsDropped++
+		return
+	}
+	if c.cfg.LossProb > 0 && c.net.eng.Rand().Float64() < c.cfg.LossProb {
+		c.Lost++
+		c.net.Stats.PacketsLost++
+		c.net.eng.Tracef("netsim: %s LOSS %v", c.name, pkt)
+		return
+	}
+	if c.queuedBytes+pkt.Size > c.cfg.QueueBytes {
+		c.Dropped++
+		c.net.Stats.PacketsDropped++
+		c.net.eng.Tracef("netsim: %s DROP %v (queue full)", c.name, pkt)
+		return
+	}
+	c.queue = append(c.queue, pkt)
+	c.queuedBytes += pkt.Size
+	if !c.busy {
+		c.startNext()
+	}
+}
+
+// startNext begins serializing the head-of-line packet.
+func (c *channel) startNext() {
+	pkt := c.queue[0]
+	c.queue = c.queue[1:]
+	c.queuedBytes -= pkt.Size
+	c.busy = true
+	txTime := simcore.DurationOfSeconds(float64(pkt.Size) * 8 / c.cfg.BandwidthBps)
+	eng := c.net.eng
+	epoch := c.epoch
+	// Serialization completes at now+txTime; the packet then propagates.
+	// A link failure mid-flight (epoch bump) loses the packet.
+	eng.After(txTime, func() {
+		if c.epoch != epoch {
+			return
+		}
+		c.Sent++
+		c.BytesSent += int64(pkt.Size)
+		c.busyTime += txTime
+		c.net.Stats.PacketsSent++
+		eng.After(c.cfg.Delay, func() {
+			if c.epoch != epoch {
+				return
+			}
+			c.dst.receive(pkt)
+		})
+		if len(c.queue) > 0 {
+			c.startNext()
+		} else {
+			c.busy = false
+		}
+	})
+}
+
+// sendPacket routes pkt out of node n toward its destination.
+func (n *Node) sendPacket(pkt *Packet) error {
+	if pkt.ttl == 0 {
+		pkt.ttl = defaultTTL
+	}
+	if pkt.Dst == n.Addr {
+		// Loopback: deliver at the current instant through the event queue.
+		n.net.eng.After(0, func() { n.receive(pkt) })
+		return nil
+	}
+	if !n.net.routed {
+		n.net.ComputeRoutes()
+	}
+	ifc, ok := n.routes[pkt.Dst]
+	if !ok {
+		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
+	}
+	ifc.ch.send(pkt)
+	return nil
+}
+
+// receive handles a packet arriving at node n: local delivery or forward.
+func (n *Node) receive(pkt *Packet) {
+	if pkt.Dst != n.Addr {
+		pkt.ttl--
+		if pkt.ttl <= 0 {
+			n.net.Stats.PacketsDropped++
+			n.net.eng.Tracef("netsim: %s TTL expired %v", n.Name, pkt)
+			return
+		}
+		ifc, ok := n.routes[pkt.Dst]
+		if !ok {
+			n.net.Stats.PacketsDropped++
+			n.net.eng.Tracef("netsim: %s no route %v", n.Name, pkt)
+			return
+		}
+		n.Forwarded++
+		ifc.ch.send(pkt)
+		return
+	}
+	n.Delivered++
+	n.net.Stats.PacketsDelivered++
+	n.net.Stats.BytesDelivered += int64(pkt.Size)
+	n.demux(pkt)
+}
+
+// demux dispatches a locally delivered packet to its transport endpoint.
+func (n *Node) demux(pkt *Packet) {
+	switch pkt.Kind {
+	case kindDatagram:
+		n.deliverDatagram(pkt)
+	default:
+		n.deliverTCP(pkt)
+	}
+}

@@ -1,0 +1,643 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"microgrid/internal/simcore"
+)
+
+// Transport tuning constants.
+const (
+	// DefaultRecvWindow is the advertised receiver window (bytes).
+	DefaultRecvWindow = 256 * 1024
+	// DefaultSendBuffer bounds unacknowledged bytes buffered at the sender.
+	DefaultSendBuffer = 256 * 1024
+	initialRTO        = 200 * simcore.Millisecond
+	minRTO            = 10 * simcore.Millisecond
+	maxRTO            = 60 * simcore.Second
+	synRetryInterval  = simcore.Second
+	maxSynRetries     = 5
+)
+
+// ErrClosed is returned by Send/Recv on a closed connection.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// ErrRefused is returned by Dial when no listener exists at the target.
+var ErrRefused = errors.New("netsim: connection refused")
+
+// connKey identifies a connection endpoint within a node.
+type connKey struct {
+	local      Port
+	remote     Addr
+	remotePort Port
+}
+
+// Listener accepts incoming stream connections on a port.
+type Listener struct {
+	node    *Node
+	port    Port
+	backlog *simcore.Queue
+	closed  bool
+}
+
+// Listen starts accepting connections on port.
+func (n *Node) Listen(port Port) (*Listener, error) {
+	if _, dup := n.listeners[port]; dup {
+		return nil, fmt.Errorf("netsim: %s port %d already listening", n.Name, port)
+	}
+	l := &Listener{node: n, port: port, backlog: simcore.NewQueue(n.net.eng, 0)}
+	n.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until a connection completes its handshake.
+func (l *Listener) Accept(p *simcore.Proc) (*Conn, error) {
+	v, ok := l.backlog.Get(p)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return v.(*Conn), nil
+}
+
+// Close stops the listener; blocked Accepts return ErrClosed.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.node.listeners, l.port)
+	l.backlog.Close()
+}
+
+// Addr returns the listener's node address.
+func (l *Listener) Addr() Addr { return l.node.Addr }
+
+// Port returns the listening port.
+func (l *Listener) Port() Port { return l.port }
+
+// outMsg and inMsg track application message boundaries in the byte stream.
+// The payload itself does not ride inside simulated packets (this is a
+// simulator, not a data plane); delivery *timing* is governed entirely by
+// the byte-stream mechanics.
+type inMsg struct {
+	end     int64 // stream offset one past the message's last byte
+	size    int   // application-visible size
+	payload any
+}
+
+// Message is a received application message.
+type Message struct {
+	Size    int
+	Payload any
+}
+
+// ConnStats counts transport events on one connection endpoint.
+type ConnStats struct {
+	MsgsSent, MsgsRecv    int64
+	BytesSent, BytesRecv  int64
+	SegmentsSent          int64
+	Retransmits           int64
+	FastRetransmits       int64
+	Timeouts              int64
+	AcksReceived, DupAcks int64
+}
+
+// Conn is one endpoint of a reliable, ordered, message-framed stream over
+// the simulated network, with TCP-Reno-like congestion control: slow start,
+// congestion avoidance, fast retransmit/recovery and RTO with exponential
+// backoff.
+type Conn struct {
+	node *Node
+	key  connKey
+	peer *Conn
+	mss  int
+
+	established bool
+	estCond     *simcore.Cond
+	synTries    int
+	listener    *Listener // server side: where to enqueue on establish
+
+	// Sender state (byte sequence space).
+	sndUna, sndNxt, sndEnd int64
+	cwnd, ssthresh         float64
+	rwnd                   int64
+	sndBufCap              int64
+	sndSpace               *simcore.Cond
+	dupAcks                int
+	fastRecovery           bool
+	recoverSeq             int64
+	rto                    simcore.Duration
+	srtt, rttvar           float64 // seconds; srtt < 0 means no sample yet
+	rtoGen                 int64
+	sendClosed             bool // Close requested
+	finSent                bool
+
+	// Receiver state.
+	rcvNxt    int64
+	received  intervalSet
+	inMsgs    []*inMsg
+	rcvQ      *simcore.Queue
+	rcvClosed bool
+
+	// Flow-mode state (see flowmode.go).
+	flowDelay     simcore.Duration
+	flowBps       float64
+	flowBusyUntil simcore.Time
+
+	closed bool
+	Stats  ConnStats
+}
+
+func newConn(n *Node, key connKey) *Conn {
+	c := &Conn{
+		node:      n,
+		key:       key,
+		mss:       DefaultMTU - HeaderBytes,
+		estCond:   simcore.NewCond(n.net.eng),
+		cwnd:      0, // set at establish from mss
+		ssthresh:  float64(DefaultRecvWindow),
+		rwnd:      DefaultRecvWindow,
+		sndBufCap: DefaultSendBuffer,
+		sndSpace:  simcore.NewCond(n.net.eng),
+		rto:       initialRTO,
+		srtt:      -1,
+		rcvQ:      simcore.NewQueue(n.net.eng, 0),
+	}
+	n.conns[key] = c
+	return c
+}
+
+// LocalAddr returns this endpoint's address.
+func (c *Conn) LocalAddr() Addr { return c.node.Addr }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.key.remote }
+
+// RemotePort returns the peer's port.
+func (c *Conn) RemotePort() Port { return c.key.remotePort }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (c *Conn) SRTT() simcore.Duration {
+	if c.srtt < 0 {
+		return 0
+	}
+	return simcore.DurationOfSeconds(c.srtt)
+}
+
+// ephemeralPort allocates a local port for outbound connections.
+func (n *Node) ephemeralPort() Port {
+	for {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = 49152
+		}
+		if _, used := n.listeners[p]; !used {
+			return p
+		}
+	}
+}
+
+// Dial opens a stream connection to dst:dstPort, blocking through the
+// SYN/SYN-ACK handshake (with SYN retries under loss).
+func (n *Node) Dial(p *simcore.Proc, dst Addr, dstPort Port) (*Conn, error) {
+	if n.net.NodeByAddr(dst) == nil {
+		return nil, fmt.Errorf("netsim: dial %v: unknown address", dst)
+	}
+	key := connKey{local: n.ephemeralPort(), remote: dst, remotePort: dstPort}
+	c := newConn(n, key)
+	c.sendSYN()
+	for !c.established && !c.closed {
+		c.estCond.Wait(p)
+	}
+	if c.closed {
+		delete(n.conns, key)
+		return nil, ErrRefused
+	}
+	return c, nil
+}
+
+func (c *Conn) sendSYN() {
+	c.synTries++
+	pkt := &Packet{
+		Src: c.node.Addr, Dst: c.key.remote,
+		SrcPort: c.key.local, DstPort: c.key.remotePort,
+		Kind: kindSYN, Size: HeaderBytes,
+		Payload: c,
+	}
+	if err := c.node.sendPacket(pkt); err != nil {
+		c.closed = true
+		c.estCond.Broadcast()
+		return
+	}
+	eng := c.node.net.eng
+	eng.After(synRetryInterval, func() {
+		if c.established || c.closed {
+			return
+		}
+		if c.synTries >= maxSynRetries {
+			c.closed = true
+			c.estCond.Broadcast()
+			return
+		}
+		c.sendSYN()
+	})
+}
+
+// deliverTCP dispatches stream-transport packets arriving at node n.
+func (n *Node) deliverTCP(pkt *Packet) {
+	if pkt.Kind == kindSYN {
+		n.onSYN(pkt)
+		return
+	}
+	key := connKey{local: pkt.DstPort, remote: pkt.Src, remotePort: pkt.SrcPort}
+	c, ok := n.conns[key]
+	if !ok {
+		n.net.eng.Tracef("netsim: %s no conn for %v", n.Name, pkt)
+		return
+	}
+	switch pkt.Kind {
+	case kindSYNACK:
+		c.onSYNACK(pkt)
+	case kindACK:
+		c.establishServer()
+		c.onACK(pkt)
+	case kindData:
+		// Data implies the peer completed the handshake even if the
+		// handshake ACK itself was lost.
+		c.establishServer()
+		c.onData(pkt)
+	case kindFIN:
+		c.establishServer()
+		c.onFIN(pkt)
+	}
+}
+
+func (n *Node) onSYN(pkt *Packet) {
+	l, ok := n.listeners[pkt.DstPort]
+	if !ok {
+		// No listener: silently drop (a real stack would RST; the dialer's
+		// SYN retries then give up and report ErrRefused).
+		return
+	}
+	key := connKey{local: pkt.DstPort, remote: pkt.Src, remotePort: pkt.SrcPort}
+	c, exists := n.conns[key]
+	if !exists {
+		c = newConn(n, key)
+		c.peer = pkt.Payload.(*Conn)
+		c.peer.peer = c
+		c.listener = l
+	}
+	// (Re)send SYN-ACK; duplicate SYNs (retries) are answered idempotently.
+	synack := &Packet{
+		Src: n.Addr, Dst: pkt.Src,
+		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+		Kind: kindSYNACK, Size: HeaderBytes,
+	}
+	_ = n.sendPacket(synack)
+}
+
+func (c *Conn) onSYNACK(pkt *Packet) {
+	if c.established {
+		return
+	}
+	c.established = true
+	c.cwnd = 2 * float64(c.mss)
+	c.estCond.Broadcast()
+	// Final handshake ACK; its arrival establishes the server side.
+	ack := &Packet{
+		Src: c.node.Addr, Dst: c.key.remote,
+		SrcPort: c.key.local, DstPort: c.key.remotePort,
+		Kind: kindACK, Size: HeaderBytes, Ack: -1,
+	}
+	_ = c.node.sendPacket(ack)
+}
+
+// Send queues an application message of size bytes (plus payload metadata)
+// and blocks until the transport has accepted it into the send buffer.
+// Wire cost is size bytes of stream data segmented at the MSS, each segment
+// carrying HeaderBytes of overhead. Zero-size messages occupy one stream
+// byte so ordering and delivery still have a wire representation.
+func (c *Conn) Send(p *simcore.Proc, size int, payload any) error {
+	if c.closed || c.sendClosed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("netsim: negative message size %d", size)
+	}
+	for !c.established && !c.closed {
+		c.estCond.Wait(p)
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	// Backpressure: wait for send-buffer space (a message may overshoot the
+	// cap so that messages larger than the buffer still make progress).
+	for c.sndEnd-c.sndUna >= c.sndBufCap && !c.closed {
+		c.sndSpace.Wait(p)
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	c.Stats.MsgsSent++
+	c.Stats.BytesSent += int64(size)
+	if c.node.net.flowMode {
+		return c.flowSend(size, payload)
+	}
+	wire := size
+	if wire == 0 {
+		wire = 1
+	}
+	c.sndEnd += int64(wire)
+	c.peer.inMsgs = append(c.peer.inMsgs, &inMsg{end: c.sndEnd, size: size, payload: payload})
+	c.trySend()
+	return nil
+}
+
+// Recv blocks until the next complete message arrives, returning its size
+// and payload. It returns ErrClosed after the peer closes and all messages
+// are drained.
+func (c *Conn) Recv(p *simcore.Proc) (Message, error) {
+	v, ok := c.rcvQ.Get(p)
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	m := v.(Message)
+	c.Stats.MsgsRecv++
+	c.Stats.BytesRecv += int64(m.Size)
+	return m, nil
+}
+
+// RecvTimeout is Recv with a deadline; timedOut reports expiry.
+func (c *Conn) RecvTimeout(p *simcore.Proc, d simcore.Duration) (m Message, timedOut bool, err error) {
+	v, ok, to := c.rcvQ.GetTimeout(p, d)
+	if to {
+		return Message{}, true, nil
+	}
+	if !ok {
+		return Message{}, false, ErrClosed
+	}
+	mm := v.(Message)
+	c.Stats.MsgsRecv++
+	c.Stats.BytesRecv += int64(mm.Size)
+	return mm, false, nil
+}
+
+// Pending reports the number of complete messages ready for Recv.
+func (c *Conn) Pending() int { return c.rcvQ.Len() }
+
+// Close flushes outstanding data, then sends FIN. Recv on the peer drains
+// buffered messages and then reports ErrClosed.
+func (c *Conn) Close() {
+	if c.sendClosed || c.closed {
+		return
+	}
+	c.sendClosed = true
+	c.maybeFIN()
+}
+
+func (c *Conn) maybeFIN() {
+	if !c.sendClosed || c.finSent || !c.established {
+		return
+	}
+	fin := &Packet{
+		Src: c.node.Addr, Dst: c.key.remote,
+		SrcPort: c.key.local, DstPort: c.key.remotePort,
+		Kind: kindFIN, Size: HeaderBytes,
+	}
+	if c.node.net.flowMode {
+		// Emit the FIN only after the last analytic delivery has landed.
+		c.finSent = true
+		eng := c.node.net.eng
+		at := eng.Now()
+		if t := c.flowBusyUntil.Add(c.flowDelay); t > at {
+			at = t
+		}
+		eng.At(at, func() { _ = c.node.sendPacket(fin) })
+		return
+	}
+	if c.sndUna < c.sndEnd {
+		return
+	}
+	c.finSent = true
+	_ = c.node.sendPacket(fin)
+}
+
+func (c *Conn) onFIN(*Packet) {
+	if c.rcvClosed {
+		return
+	}
+	c.rcvClosed = true
+	c.rcvQ.Close()
+}
+
+// trySend transmits new segments while the window allows.
+func (c *Conn) trySend() {
+	for c.sndNxt < c.sndEnd {
+		window := int64(math.Min(c.cwnd, float64(c.rwnd)))
+		inflight := c.sndNxt - c.sndUna
+		if inflight >= window {
+			return
+		}
+		seg := int64(c.mss)
+		if rem := c.sndEnd - c.sndNxt; rem < seg {
+			seg = rem
+		}
+		if avail := window - inflight; avail < seg {
+			if inflight > 0 {
+				// Wait for acks rather than emit a silly-small segment.
+				return
+			}
+			// cwnd never drops below one MSS, so with nothing in flight
+			// the window always admits the (possibly partial) segment.
+			seg = avail
+		}
+		c.sendSegment(c.sndNxt, int(seg), false)
+		c.sndNxt += seg
+	}
+	if c.sndUna == c.sndEnd {
+		c.maybeFIN()
+	}
+}
+
+// segTS is the timestamp option carried by data segments and echoed by acks.
+type segTS struct {
+	sent simcore.Time
+}
+
+func (c *Conn) sendSegment(seq int64, length int, retransmit bool) {
+	pkt := &Packet{
+		Src: c.node.Addr, Dst: c.key.remote,
+		SrcPort: c.key.local, DstPort: c.key.remotePort,
+		Kind:    kindData,
+		Size:    length + HeaderBytes,
+		Seq:     seq,
+		Payload: &segTS{sent: c.node.net.eng.Now()},
+	}
+	c.Stats.SegmentsSent++
+	if retransmit {
+		c.Stats.Retransmits++
+	}
+	_ = c.node.sendPacket(pkt)
+	c.armRTO()
+}
+
+func (c *Conn) armRTO() {
+	c.rtoGen++
+	gen := c.rtoGen
+	eng := c.node.net.eng
+	eng.After(c.rto, func() {
+		if gen != c.rtoGen || c.sndUna >= c.sndNxt || c.closed {
+			return
+		}
+		c.onTimeout()
+	})
+}
+
+func (c *Conn) onTimeout() {
+	c.Stats.Timeouts++
+	inflight := float64(c.sndNxt - c.sndUna)
+	c.ssthresh = math.Max(inflight/2, 2*float64(c.mss))
+	c.cwnd = float64(c.mss)
+	c.dupAcks = 0
+	c.fastRecovery = false
+	c.sndNxt = c.sndUna // go-back-N
+	c.rto *= 2
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+	c.trySend()
+}
+
+// establishServer completes the passive side of the handshake on the first
+// packet proving the peer is established.
+func (c *Conn) establishServer() {
+	if c.established || c.listener == nil {
+		return
+	}
+	c.established = true
+	c.cwnd = 2 * float64(c.mss)
+	c.estCond.Broadcast()
+	if !c.listener.closed {
+		c.listener.backlog.TryPut(c)
+	}
+}
+
+func (c *Conn) onACK(pkt *Packet) {
+	if pkt.Ack == -1 { // handshake-completing ACK (server side)
+		return
+	}
+	c.Stats.AcksReceived++
+	// RTT sample from the echoed timestamp.
+	if ts, ok := pkt.Payload.(*segTS); ok && ts != nil {
+		sample := c.node.net.eng.Now().Sub(ts.sent).Seconds()
+		if c.srtt < 0 {
+			c.srtt = sample
+			c.rttvar = sample / 2
+		} else {
+			const alpha, beta = 0.125, 0.25
+			c.rttvar = (1-beta)*c.rttvar + beta*math.Abs(c.srtt-sample)
+			c.srtt = (1-alpha)*c.srtt + alpha*sample
+		}
+		rto := simcore.DurationOfSeconds(c.srtt + 4*c.rttvar)
+		if rto < minRTO {
+			rto = minRTO
+		}
+		if rto > maxRTO {
+			rto = maxRTO
+		}
+		c.rto = rto
+	}
+	switch {
+	case pkt.Ack > c.sndUna:
+		acked := float64(pkt.Ack - c.sndUna)
+		c.sndUna = pkt.Ack
+		if c.fastRecovery {
+			if c.sndUna >= c.recoverSeq {
+				c.fastRecovery = false
+				c.cwnd = c.ssthresh
+			} else {
+				// Partial ack during recovery: retransmit next hole.
+				c.retransmitFirst()
+			}
+		} else if c.cwnd < c.ssthresh {
+			c.cwnd += math.Min(acked, float64(c.mss)) // slow start
+		} else {
+			c.cwnd += float64(c.mss) * float64(c.mss) / c.cwnd // congestion avoidance
+		}
+		c.dupAcks = 0
+		if c.sndUna < c.sndNxt {
+			c.armRTO()
+		} else {
+			c.rtoGen++ // cancel timer; nothing outstanding
+			c.rto = c.currentRTOFromSRTT()
+		}
+		c.sndSpace.Broadcast()
+		c.trySend()
+	case pkt.Ack == c.sndUna && c.sndNxt > c.sndUna:
+		c.Stats.DupAcks++
+		c.dupAcks++
+		if c.fastRecovery {
+			c.cwnd += float64(c.mss) // inflate
+			c.trySend()
+		} else if c.dupAcks == 3 {
+			c.Stats.FastRetransmits++
+			inflight := float64(c.sndNxt - c.sndUna)
+			c.ssthresh = math.Max(inflight/2, 2*float64(c.mss))
+			c.retransmitFirst()
+			c.cwnd = c.ssthresh + 3*float64(c.mss)
+			c.fastRecovery = true
+			c.recoverSeq = c.sndNxt
+		}
+	}
+}
+
+func (c *Conn) currentRTOFromSRTT() simcore.Duration {
+	if c.srtt < 0 {
+		return initialRTO
+	}
+	rto := simcore.DurationOfSeconds(c.srtt + 4*c.rttvar)
+	if rto < minRTO {
+		rto = minRTO
+	}
+	return rto
+}
+
+func (c *Conn) retransmitFirst() {
+	length := int64(c.mss)
+	if rem := c.sndEnd - c.sndUna; rem < length {
+		length = rem
+	}
+	if length <= 0 {
+		return
+	}
+	c.sendSegment(c.sndUna, int(length), true)
+}
+
+func (c *Conn) onData(pkt *Packet) {
+	segStart := pkt.Seq
+	segLen := int64(pkt.Size - HeaderBytes)
+	if segLen > 0 {
+		c.received.add(segStart, segStart+segLen)
+		c.rcvNxt = c.received.contiguousFrom(0)
+	}
+	// Deliver any now-complete messages.
+	for len(c.inMsgs) > 0 && c.inMsgs[0].end <= c.rcvNxt {
+		m := c.inMsgs[0]
+		c.inMsgs = c.inMsgs[1:]
+		if !c.rcvQ.Closed() {
+			c.rcvQ.TryPut(Message{Size: m.size, Payload: m.payload})
+		}
+	}
+	// Cumulative ACK, echoing the freshest timestamp.
+	ack := &Packet{
+		Src: c.node.Addr, Dst: c.key.remote,
+		SrcPort: c.key.local, DstPort: c.key.remotePort,
+		Kind: kindACK, Size: HeaderBytes,
+		Ack:     c.rcvNxt,
+		Payload: pkt.Payload,
+	}
+	_ = c.node.sendPacket(ack)
+}

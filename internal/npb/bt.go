@@ -1,0 +1,103 @@
+package npb
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// BT — the Block Tridiagonal benchmark: ADI iterations solving 5×5 block
+// tridiagonal systems along each of the three dimensions. NPB-BT runs on
+// a square process grid using a multipartition decomposition; each
+// directional solve ships whole cell-face blocks between neighbors, so BT
+// moves larger messages less often than LU and is the most compute-heavy
+// kernel of the suite.
+
+// btSize gives grid edge and iteration count per class (NPB: 12³×60 S,
+// 24³×200 W, 64³×200 A).
+func btSize(c Class) (n, iters int, err error) {
+	switch c {
+	case ClassS:
+		return 12, 60, nil
+	case ClassW:
+		return 24, 200, nil
+	case ClassA:
+		return 64, 200, nil
+	case ClassB:
+		return 102, 200, nil
+	}
+	return 0, 0, fmt.Errorf("npb: BT: unsupported class %c", c)
+}
+
+// btOpsPerPoint models one full ADI iteration per grid point: three 5×5
+// block solves plus RHS ≈ 2000 flops ≈ 6000 instructions.
+const btOpsPerPoint = 6000
+
+const btTagSolve = 80
+
+// RunBT executes the BT kernel.
+func RunBT(c *mpi.Comm, p Params) error {
+	n, iters, err := btSize(p.Class)
+	if err != nil {
+		return err
+	}
+	px, py := factor2(c.Size())
+	mx, my := c.Rank()%px, c.Rank()/px
+	lx := maxInt(n/px, 1)
+	ly := maxInt(n/py, 1)
+	lz := n
+	pointOps := float64(lx) * float64(ly) * float64(lz) * btOpsPerPoint
+	// Face blocks carried per directional solve: 25 jacobian doubles per
+	// face cell (the 5×5 block), as in NPB's copy_faces.
+	xFace := 25 * ly * lz * 8
+	yFace := 25 * lx * lz * 8
+	for iter := 1; iter <= iters; iter++ {
+		// copy_faces: exchange with all grid neighbors before the solves.
+		if px > 1 {
+			e := my*px + (mx+1)%px
+			w := my*px + (mx-1+px)%px
+			if _, _, err := c.Sendrecv(e, btTagSolve, xFace, nil, w, btTagSolve); err != nil {
+				return fmt.Errorf("npb: BT x-faces: %w", err)
+			}
+			if _, _, err := c.Sendrecv(w, btTagSolve+1, xFace, nil, e, btTagSolve+1); err != nil {
+				return fmt.Errorf("npb: BT x-faces: %w", err)
+			}
+		}
+		if py > 1 {
+			nn := ((my+1)%py)*px + mx
+			s := ((my-1+py)%py)*px + mx
+			if _, _, err := c.Sendrecv(nn, btTagSolve+2, yFace, nil, s, btTagSolve+2); err != nil {
+				return fmt.Errorf("npb: BT y-faces: %w", err)
+			}
+			if _, _, err := c.Sendrecv(s, btTagSolve+3, yFace, nil, nn, btTagSolve+3); err != nil {
+				return fmt.Errorf("npb: BT y-faces: %w", err)
+			}
+		}
+		// The three directional solves plus RHS, modeled as one compute
+		// burst per sub-stage so the scheduler sees BT's real granularity.
+		for stage := 0; stage < 4; stage++ {
+			c.Proc().Compute(pointOps / 4)
+			// x/y solves also ship boundary planes mid-solve.
+			if stage == 1 && px > 1 {
+				e := my*px + (mx+1)%px
+				w := my*px + (mx-1+px)%px
+				if _, _, err := c.Sendrecv(e, btTagSolve+4, 5*ly*lz*8, nil, w, btTagSolve+4); err != nil {
+					return fmt.Errorf("npb: BT x-solve: %w", err)
+				}
+			}
+			if stage == 2 && py > 1 {
+				nn := ((my+1)%py)*px + mx
+				s := ((my-1+py)%py)*px + mx
+				if _, _, err := c.Sendrecv(nn, btTagSolve+5, 5*lx*lz*8, nil, s, btTagSolve+5); err != nil {
+					return fmt.Errorf("npb: BT y-solve: %w", err)
+				}
+			}
+		}
+		p.Hooks.progress(c.Rank(), iter, float64(iter))
+	}
+	// Final verification norm.
+	if _, err := c.AllreduceFloat64([]float64{1}, mpi.Sum); err != nil {
+		return fmt.Errorf("npb: BT verify: %w", err)
+	}
+	return nil
+}

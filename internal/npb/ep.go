@@ -1,0 +1,83 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"microgrid/internal/mpi"
+)
+
+// EP — the Embarrassingly Parallel benchmark: generate pairs of Gaussian
+// random deviates and tally them into annular bins. Essentially pure
+// computation with one tiny reduction at the end, which is why Fig. 12
+// shows EP scaling linearly with CPU speed and Fig. 14 shows it immune to
+// WAN bandwidth.
+
+// epPairs gives the total pair count per class (NPB: 2^24 / 2^25 / 2^28).
+func epPairs(c Class) (int64, error) {
+	switch c {
+	case ClassS:
+		return 1 << 24, nil
+	case ClassW:
+		return 1 << 25, nil
+	case ClassA:
+		return 1 << 28, nil
+	case ClassB:
+		return 1 << 30, nil
+	}
+	return 0, fmt.Errorf("npb: EP: unsupported class %c", c)
+}
+
+// epOpsPerPair models the per-pair cost: random generation, the
+// acceptance-rejection test and the occasional log/sqrt (~150 flops ≈ 450
+// instructions).
+const epOpsPerPair = 450
+
+// epChunks is how many progress slices each rank reports (matching the
+// periodic counter Autopilot samples).
+const epChunks = 64
+
+// RunEP executes the EP kernel.
+func RunEP(c *mpi.Comm, p Params) error {
+	pairs, err := epPairs(p.Class)
+	if err != nil {
+		return err
+	}
+	mine := pairs / int64(c.Size())
+	if int64(c.Rank()) < pairs%int64(c.Size()) {
+		mine++
+	}
+	var sx, sy float64
+	var q [10]float64
+	per := mine / epChunks
+	for i := 0; i < epChunks; i++ {
+		n := per
+		if i == epChunks-1 {
+			n = mine - per*(epChunks-1)
+		}
+		c.Proc().Compute(float64(n) * epOpsPerPair)
+		// Deterministic stand-ins for the Gaussian tallies.
+		sx += float64(n) * math.Sin(float64(c.Rank()+1))
+		sy += float64(n) * math.Cos(float64(c.Rank()+1))
+		q[i%10] += float64(n)
+		p.Hooks.progress(c.Rank(), i, float64(i+1))
+	}
+	// Final reductions: sx, sy and the 10 annulus counters (NPB does
+	// exactly these three MPI_Allreduce calls).
+	vals := make([]float64, 12)
+	vals[0], vals[1] = sx, sy
+	copy(vals[2:], q[:])
+	out, err := c.AllreduceFloat64(vals, mpi.Sum)
+	if err != nil {
+		return fmt.Errorf("npb: EP reduction: %w", err)
+	}
+	// Verification: the counters must account for every pair.
+	var total float64
+	for _, v := range out[2:] {
+		total += v
+	}
+	if int64(total+0.5) != pairs {
+		return fmt.Errorf("npb: EP verification failed: counted %v of %d pairs", total, pairs)
+	}
+	return nil
+}

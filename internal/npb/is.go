@@ -1,0 +1,89 @@
+package npb
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// IS — the Integer Sort benchmark: rank N uniformly distributed keys per
+// iteration by bucketing them across processes. Each of the 10 iterations
+// performs a small allreduce of bucket-boundary counts followed by an
+// all-to-all-v that redistributes the keys themselves — the largest
+// messages in the suite, which is why IS is network-bound on Ethernet
+// (and why the paper's Fig. 10 shows it fastest on Myrinet relative to
+// its Ethernet time).
+
+// isKeys gives total keys and iteration count per class (NPB: 2^16 S,
+// 2^20 W, 2^23 A; 10 rankings each).
+func isKeys(c Class) (keys int64, iters int, err error) {
+	switch c {
+	case ClassS:
+		return 1 << 16, 10, nil
+	case ClassW:
+		return 1 << 20, 10, nil
+	case ClassA:
+		return 1 << 23, 10, nil
+	case ClassB:
+		return 1 << 25, 10, nil
+	}
+	return 0, 0, fmt.Errorf("npb: IS: unsupported class %c", c)
+}
+
+// isOpsPerKey models bucket counting plus local ranking (~10 flops ≈ 30
+// instructions per key per iteration).
+const isOpsPerKey = 30
+
+// RunIS executes the IS kernel. The all-to-all carries real per-bucket
+// key counts so conservation is verified end to end.
+func RunIS(c *mpi.Comm, p Params) error {
+	keys, iters, err := isKeys(p.Class)
+	if err != nil {
+		return err
+	}
+	n := c.Size()
+	mine := keys / int64(n)
+	if int64(c.Rank()) < keys%int64(n) {
+		mine++
+	}
+	for iter := 1; iter <= iters; iter++ {
+		// Local bucket counting.
+		c.Proc().Compute(float64(mine) * isOpsPerKey)
+		// Bucket-size allreduce (NPB exchanges bucket_size_totals).
+		counts := make([]float64, n)
+		for j := 0; j < n; j++ {
+			counts[j] = float64(chunkInt64(mine, n, j))
+		}
+		totals, err := c.AllreduceFloat64(counts, mpi.Sum)
+		if err != nil {
+			return fmt.Errorf("npb: IS bucket totals: %w", err)
+		}
+		// Key redistribution: rank j receives bucket j from everyone.
+		// 4 bytes per key.
+		sizes := make([]int, n)
+		data := make([]any, n)
+		for j := 0; j < n; j++ {
+			cnt := chunkInt64(mine, n, j)
+			sizes[j] = int(cnt) * 4
+			data[j] = cnt
+		}
+		got, err := c.Alltoallv(sizes, data)
+		if err != nil {
+			return fmt.Errorf("npb: IS alltoallv: %w", err)
+		}
+		var received int64
+		for _, v := range got {
+			received += v.(int64)
+		}
+		// Conservation check: what I received must equal the global count
+		// of my bucket.
+		if float64(received) != totals[c.Rank()] {
+			return fmt.Errorf("npb: IS verification failed: received %d keys, bucket total %v",
+				received, totals[c.Rank()])
+		}
+		// Local ranking of the received keys.
+		c.Proc().Compute(float64(received) * isOpsPerKey)
+		p.Hooks.progress(c.Rank(), iter, float64(received))
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package npb
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// LU — the LU benchmark: SSOR iterations over an n³ grid with a 2-D
+// process decomposition in x–y. The lower- and upper-triangular sweeps
+// propagate a wavefront plane by plane: each of the nz planes receives
+// two small pencil messages from the upstream neighbors and sends two
+// downstream. That makes LU the most synchronization-intensive kernel —
+// the one the paper finds most sensitive to the scheduling quantum
+// (Fig. 11: best match at a 2.5 ms slice).
+
+// luSize gives grid edge and SSOR iteration count per class (NPB: 12³×50
+// S, 33³×300 W, 64³×250 A).
+func luSize(c Class) (n, iters int, err error) {
+	switch c {
+	case ClassS:
+		return 12, 50, nil
+	case ClassW:
+		return 33, 300, nil
+	case ClassA:
+		return 64, 250, nil
+	case ClassB:
+		return 102, 250, nil
+	}
+	return 0, 0, fmt.Errorf("npb: LU: unsupported class %c", c)
+}
+
+// Per-point instruction costs: the two triangular solves are ~500 flops
+// per point per iteration and the RHS/Jacobian setup ~330 (×3
+// instructions per flop ≈ 2500 total), matching LU's compute-heavy but
+// latency-bound profile.
+const (
+	luSweepOps = 750 // per point, per triangular sweep
+	luRHSOps   = 1000
+)
+
+const (
+	luTagSouth = 60
+	luTagWest  = 61
+)
+
+// luNormEvery is the residual-norm cadence (NPB checks every inorm
+// iterations; 50 in class A).
+const luNormEvery = 50
+
+// RunLU executes the LU kernel.
+func RunLU(c *mpi.Comm, p Params) error {
+	n, iters, err := luSize(p.Class)
+	if err != nil {
+		return err
+	}
+	px, py := factor2(c.Size())
+	mx, my := c.Rank()%px, c.Rank()/px
+	lx := maxInt(n/px, 1)
+	ly := maxInt(n/py, 1)
+	nz := n
+	// Neighbor ranks in the wavefront order (-x and -y are upstream for
+	// the lower sweep; +x and +y for the upper sweep).
+	west, east := -1, -1
+	if mx > 0 {
+		west = c.Rank() - 1
+	}
+	if mx < px-1 {
+		east = c.Rank() + 1
+	}
+	south, north := -1, -1
+	if my > 0 {
+		south = c.Rank() - px
+	}
+	if my < py-1 {
+		north = c.Rank() + px
+	}
+	// Pencil message: 5 solution components along one local edge.
+	xPencil := 5 * ly * 8
+	yPencil := 5 * lx * 8
+	planeOps := float64(lx) * float64(ly) * luSweepOps
+
+	sweep := func(recvW, recvS, sendE, sendN int) error {
+		for k := 0; k < nz; k++ {
+			if recvW >= 0 {
+				if _, _, err := c.Recv(recvW, luTagWest); err != nil {
+					return err
+				}
+			}
+			if recvS >= 0 {
+				if _, _, err := c.Recv(recvS, luTagSouth); err != nil {
+					return err
+				}
+			}
+			c.Proc().Compute(planeOps)
+			if sendE >= 0 {
+				if err := c.Send(sendE, luTagWest, xPencil, nil); err != nil {
+					return err
+				}
+			}
+			if sendN >= 0 {
+				if err := c.Send(sendN, luTagSouth, yPencil, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for iter := 1; iter <= iters; iter++ {
+		// RHS assembly (local).
+		c.Proc().Compute(float64(lx) * float64(ly) * float64(nz) * luRHSOps)
+		// Lower-triangular sweep: wavefront from the (0,0) corner.
+		if err := sweep(west, south, east, north); err != nil {
+			return fmt.Errorf("npb: LU lower sweep: %w", err)
+		}
+		// Upper-triangular sweep: wavefront from the opposite corner.
+		if err := sweep(east, north, west, south); err != nil {
+			return fmt.Errorf("npb: LU upper sweep: %w", err)
+		}
+		if iter%luNormEvery == 0 || iter == iters {
+			norm, err := c.AllreduceFloat64([]float64{1.0 / float64(iter)}, mpi.Sum)
+			if err != nil {
+				return fmt.Errorf("npb: LU norm: %w", err)
+			}
+			p.Hooks.progress(c.Rank(), iter, norm[0])
+		} else {
+			p.Hooks.progress(c.Rank(), iter, float64(iter))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package npb
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// MG — the MultiGrid benchmark: V-cycles of a 3-D Poisson solver on an
+// n³ grid. The processes form a 3-D grid; each smoothing/restriction/
+// prolongation step exchanges ghost faces with up to six neighbors, with
+// face sizes shrinking at coarser levels — so MG mixes medium messages
+// with moderate synchronization frequency.
+
+// mgSize gives grid edge and V-cycle count per class (NPB: 32³×4 S,
+// 128³×4 W, 256³×4 A).
+func mgSize(c Class) (n, iters int, err error) {
+	switch c {
+	case ClassS:
+		return 32, 4, nil
+	case ClassW:
+		return 128, 4, nil
+	case ClassA:
+		return 256, 4, nil
+	case ClassB:
+		return 256, 20, nil
+	}
+	return 0, 0, fmt.Errorf("npb: MG: unsupported class %c", c)
+}
+
+// Per-point instruction costs for the V-cycle phases (27-point stencils:
+// residual ≈ 60 flops, smoother ≈ 50, transfer ≈ 25; ×3 instructions per
+// flop).
+const (
+	mgResidOps  = 180
+	mgSmoothOps = 150
+	mgXferOps   = 75
+)
+
+const mgTagFace = 40
+
+// RunMG executes the MG kernel.
+func RunMG(c *mpi.Comm, p Params) error {
+	n, iters, err := mgSize(p.Class)
+	if err != nil {
+		return err
+	}
+	px, py, pz := factor3(c.Size())
+	me := rank3(c.Rank(), px, py, pz)
+	// Levels down to a 4³ global grid.
+	levels := 0
+	for g := n; g >= 8; g /= 2 {
+		levels++
+	}
+	for iter := 1; iter <= iters; iter++ {
+		// Downward leg: residual + restriction per level.
+		for l := 0; l < levels; l++ {
+			g := n >> l
+			if err := mgLevel(c, me, px, py, pz, g, mgResidOps+mgXferOps); err != nil {
+				return err
+			}
+		}
+		// Upward leg: prolongation + smoothing per level.
+		for l := levels - 1; l >= 0; l-- {
+			g := n >> l
+			if err := mgLevel(c, me, px, py, pz, g, mgSmoothOps+mgXferOps); err != nil {
+				return err
+			}
+		}
+		// Residual norm: the per-iteration allreduce NPB-MG performs.
+		norm, err := c.AllreduceFloat64([]float64{1.0 / float64(iter)}, mpi.Sum)
+		if err != nil {
+			return fmt.Errorf("npb: MG norm: %w", err)
+		}
+		p.Hooks.progress(c.Rank(), iter, norm[0])
+	}
+	return nil
+}
+
+// rank3 locates a rank in the (px, py, pz) process grid.
+type coord3 struct{ x, y, z int }
+
+func rank3(r, px, py, pz int) coord3 {
+	return coord3{x: r % px, y: (r / px) % py, z: r / (px * py)}
+}
+
+func (c coord3) rank(px, py int) int { return c.x + px*(c.y+py*c.z) }
+
+// mgLevel performs one level's compute plus ghost-face exchange.
+func mgLevel(c *mpi.Comm, me coord3, px, py, pz, g int, opsPerPoint float64) error {
+	// Local block dimensions at this level (floor at 2 cells).
+	lx := maxInt(g/px, 2)
+	ly := maxInt(g/py, 2)
+	lz := maxInt(g/pz, 2)
+	c.Proc().Compute(float64(lx) * float64(ly) * float64(lz) * opsPerPoint)
+	// Exchange ghost faces with each axis neighbor (periodic, as NPB-MG's
+	// grid is periodic). 8 bytes per face cell.
+	type nb struct {
+		dst, src int
+		bytes    int
+	}
+	var nbs []nb
+	if px > 1 {
+		e := coord3{(me.x + 1) % px, me.y, me.z}.rank(px, py)
+		w := coord3{(me.x - 1 + px) % px, me.y, me.z}.rank(px, py)
+		nbs = append(nbs, nb{e, w, ly * lz * 8}, nb{w, e, ly * lz * 8})
+	}
+	if py > 1 {
+		nn := coord3{me.x, (me.y + 1) % py, me.z}.rank(px, py)
+		s := coord3{me.x, (me.y - 1 + py) % py, me.z}.rank(px, py)
+		nbs = append(nbs, nb{nn, s, lx * lz * 8}, nb{s, nn, lx * lz * 8})
+	}
+	if pz > 1 {
+		u := coord3{me.x, me.y, (me.z + 1) % pz}.rank(px, py)
+		d := coord3{me.x, me.y, (me.z - 1 + pz) % pz}.rank(px, py)
+		nbs = append(nbs, nb{u, d, lx * ly * 8}, nb{d, u, lx * ly * 8})
+	}
+	for i, x := range nbs {
+		tag := mgTagFace + i
+		if _, _, err := c.Sendrecv(x.dst, tag, x.bytes, nil, x.src, tag); err != nil {
+			return fmt.Errorf("npb: MG face exchange: %w", err)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package npb
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// SP — the Scalar Pentadiagonal benchmark, BT's sibling in the NPB
+// suite: the same ADI structure but scalar (not 5×5 block) solves, so
+// less computation per point and lighter mid-solve messages. The paper's
+// figures do not include SP (so it is absent from Names()), but the suite
+// defines it and it is available through Get for additional studies.
+
+// spSize gives grid edge and iteration count per class (NPB: 12³×100 S,
+// 36³×400 W, 64³×400 A, 102³×400 B).
+func spSize(c Class) (n, iters int, err error) {
+	switch c {
+	case ClassS:
+		return 12, 100, nil
+	case ClassW:
+		return 36, 400, nil
+	case ClassA:
+		return 64, 400, nil
+	case ClassB:
+		return 102, 400, nil
+	}
+	return 0, 0, fmt.Errorf("npb: SP: unsupported class %c", c)
+}
+
+// spOpsPerPoint: one ADI iteration's scalar solves plus RHS ≈ 900 flops ≈
+// 2700 instructions per point.
+const spOpsPerPoint = 2700
+
+const spTagSolve = 100
+
+// RunSP executes the SP kernel.
+func RunSP(c *mpi.Comm, p Params) error {
+	n, iters, err := spSize(p.Class)
+	if err != nil {
+		return err
+	}
+	px, py := factor2(c.Size())
+	mx, my := c.Rank()%px, c.Rank()/px
+	lx := maxInt(n/px, 1)
+	ly := maxInt(n/py, 1)
+	lz := n
+	pointOps := float64(lx) * float64(ly) * float64(lz) * spOpsPerPoint
+	// Scalar faces: 5 solution components per face cell (no jacobians).
+	xFace := 5 * ly * lz * 8
+	yFace := 5 * lx * lz * 8
+	for iter := 1; iter <= iters; iter++ {
+		if px > 1 {
+			e := my*px + (mx+1)%px
+			w := my*px + (mx-1+px)%px
+			if _, _, err := c.Sendrecv(e, spTagSolve, xFace, nil, w, spTagSolve); err != nil {
+				return fmt.Errorf("npb: SP x-faces: %w", err)
+			}
+		}
+		if py > 1 {
+			nn := ((my+1)%py)*px + mx
+			s := ((my-1+py)%py)*px + mx
+			if _, _, err := c.Sendrecv(nn, spTagSolve+1, yFace, nil, s, spTagSolve+1); err != nil {
+				return fmt.Errorf("npb: SP y-faces: %w", err)
+			}
+		}
+		// RHS plus the three directional scalar solves.
+		for stage := 0; stage < 4; stage++ {
+			c.Proc().Compute(pointOps / 4)
+		}
+		p.Hooks.progress(c.Rank(), iter, float64(iter))
+	}
+	if _, err := c.AllreduceFloat64([]float64{1}, mpi.Sum); err != nil {
+		return fmt.Errorf("npb: SP verify: %w", err)
+	}
+	return nil
+}

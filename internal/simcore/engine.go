@@ -1,0 +1,223 @@
+// Package simcore provides a deterministic, process-oriented discrete-event
+// simulation engine. It is the substrate on which every MicroGrid model
+// (hosts, schedulers, networks, middleware) runs.
+//
+// Processes are ordinary goroutines, but the engine enforces that exactly one
+// of them executes at a time: a process runs until it blocks on a simulation
+// primitive (Sleep, Cond.Wait, Queue.Get, ...), at which point control
+// returns to the engine, which advances virtual time to the next event.
+// Because all scheduling flows through a single event heap ordered by
+// (time, sequence), runs are bit-for-bit deterministic for a given seed.
+package simcore
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds from the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds. It is distinct from
+// time.Duration only by intent; helper constructors accept time.Duration.
+type Duration = time.Duration
+
+// Common duration units re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return Duration(t).String()
+}
+
+// DurationOfSeconds converts floating-point seconds to a Duration, rounding
+// to the nearest nanosecond.
+func DurationOfSeconds(s float64) Duration {
+	return Duration(s*1e9 + 0.5)
+}
+
+// event is a scheduled callback.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. Create one with NewEngine, spawn
+// processes and schedule events, then call Run.
+//
+// An Engine is not safe for concurrent use from outside its own processes;
+// all interaction must happen from process goroutines or before/after Run.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     int64
+	ctl     chan struct{} // a running process signals here when it parks or exits
+	procs   map[*Proc]struct{}
+	nprocs  int
+	rng     *rand.Rand
+	stopped bool
+	tracer  func(t Time, format string, args ...any)
+}
+
+// NewEngine returns an engine with a deterministic random source derived
+// from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		ctl:   make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation processes or event callbacks, never concurrently.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer installs a debug trace function (nil disables tracing).
+func (e *Engine) SetTracer(fn func(t Time, format string, args ...any)) { e.tracer = fn }
+
+// Tracef emits a trace line if a tracer is installed.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.tracer != nil {
+		e.tracer(e.now, format, args...)
+	}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("simcore: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simcore: negative delay %v", d))
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop ends the simulation: Run returns after the current event completes.
+// Pending events are discarded.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still blocked: nothing can ever wake them.
+type DeadlockError struct {
+	// Blocked lists the names of the permanently blocked processes.
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("simcore: deadlock: %d process(es) blocked forever: %s",
+		len(d.Blocked), strings.Join(d.Blocked, ", "))
+}
+
+// Run executes events until the queue is empty or Stop is called, then shuts
+// down any remaining parked processes. If the queue drained while
+// non-daemon processes were still blocked, Run returns a *DeadlockError
+// (after shutdown); otherwise nil.
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(1)<<62 - 1)
+}
+
+// RunUntil executes events with time ≤ limit, then stops. Events beyond the
+// limit remain unexecuted; parked processes are shut down as in Run.
+func (e *Engine) RunUntil(limit Time) error {
+	for !e.stopped && len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.t > limit {
+			// Out-of-range; nothing earlier can exist in a heap pop order.
+			heap.Push(&e.heap, ev)
+			break
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	var blocked []string
+	for p := range e.procs {
+		if !p.daemon {
+			blocked = append(blocked, p.name)
+		}
+	}
+	sort.Strings(blocked)
+	e.shutdown()
+	if len(blocked) > 0 && !e.stopped && len(e.heap) == 0 {
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// shutdown aborts all parked processes so their goroutines exit.
+func (e *Engine) shutdown() {
+	for len(e.procs) > 0 {
+		var p *Proc
+		for q := range e.procs {
+			if p == nil || q.id < p.id {
+				p = q
+			}
+		}
+		e.abort(p)
+	}
+}
+
+// abort resumes p with the abort flag; p's park panics with errAborted,
+// which the spawn wrapper recovers, terminating the goroutine.
+func (e *Engine) abort(p *Proc) {
+	if p.state != procParked {
+		panic("simcore: aborting a process that is not parked")
+	}
+	delete(e.procs, p)
+	p.state = procRunning
+	p.resume <- wakeup{abort: true}
+	<-e.ctl
+}

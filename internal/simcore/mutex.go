@@ -1,0 +1,54 @@
+package simcore
+
+// Mutex is a FIFO mutual-exclusion lock in simulated time: the analog of
+// a kernel semaphore for simulation processes. Unlike sync.Mutex it never
+// blocks a real goroutine outside the engine's control — waiters park
+// through the event queue, preserving determinism.
+type Mutex struct {
+	cond *Cond
+	held bool
+	// Contentions counts Lock calls that had to wait.
+	Contentions int64
+}
+
+// NewMutex returns an unlocked mutex bound to eng.
+func NewMutex(eng *Engine) *Mutex {
+	return &Mutex{cond: NewCond(eng)}
+}
+
+// Lock acquires the mutex, parking p until it is free. Acquisition order
+// is FIFO among waiters.
+func (m *Mutex) Lock(p *Proc) {
+	if m.held {
+		m.Contentions++
+		for {
+			m.cond.Wait(p)
+			if !m.held {
+				break
+			}
+		}
+	}
+	m.held = true
+}
+
+// TryLock acquires the mutex if free, reporting success. It never blocks.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex and wakes the next waiter. Unlocking a free
+// mutex panics, as with sync.Mutex.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("simcore: Unlock of unlocked Mutex")
+	}
+	m.held = false
+	m.cond.Signal(nil)
+}
+
+// Held reports whether the mutex is currently locked.
+func (m *Mutex) Held() bool { return m.held }

@@ -1,0 +1,139 @@
+package simcore
+
+import "fmt"
+
+type procState int
+
+const (
+	procRunning procState = iota
+	procParked
+	procDead
+)
+
+type wakeup struct {
+	abort bool
+	val   any
+}
+
+// errAborted is the panic value used to unwind aborted process goroutines.
+var errAborted = &struct{ msg string }{"simcore: process aborted"}
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// deterministically by the Engine. All blocking must go through Proc
+// methods or engine-aware primitives (Cond, Queue); blocking on ordinary Go
+// channels from inside a process would stall the whole simulation.
+type Proc struct {
+	eng    *Engine
+	id     int64
+	name   string
+	daemon bool
+	state  procState
+	resume chan wakeup
+	// waitSlot carries a value to a process being woken from Cond.WaitValue.
+	waitSlot any
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// SetDaemon marks the process as a daemon: a daemon blocked forever at the
+// end of the run (e.g. an accept loop) does not count as a deadlock.
+func (p *Proc) SetDaemon(daemon bool) { p.daemon = daemon }
+
+// Spawn creates a new process executing fn, scheduled to start at the
+// current simulated time (after already-queued events at this time).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a new process executing fn, starting at time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	e.seq++
+	p := &Proc{
+		eng:    e,
+		id:     e.seq,
+		name:   name,
+		state:  procParked,
+		resume: make(chan wakeup),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		w := <-p.resume
+		defer func() {
+			if r := recover(); r != nil && r != any(errAborted) {
+				// Re-panic with context; the engine goroutine is blocked on
+				// ctl, so crash loudly rather than deadlocking silently.
+				panic(fmt.Sprintf("simcore: process %q panicked: %v", p.name, r))
+			}
+			p.state = procDead
+			e.ctl <- struct{}{}
+		}()
+		if w.abort {
+			return
+		}
+		fn(p)
+		delete(e.procs, p)
+	}()
+	e.At(t, func() { e.resumeProc(p, wakeup{}) })
+	return p
+}
+
+// resumeProc hands the CPU to p and waits until p parks again or exits.
+// It must only be called from the engine's event loop (i.e. inside event
+// callbacks), never from another process.
+func (e *Engine) resumeProc(p *Proc, w wakeup) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("simcore: resuming process %q in state %d", p.name, p.state))
+	}
+	p.state = procRunning
+	p.resume <- w
+	<-e.ctl
+}
+
+// park suspends the calling process until something schedules a resume.
+// Returns the wakeup value passed by the waker.
+func (p *Proc) park() any {
+	p.state = procParked
+	p.eng.ctl <- struct{}{}
+	w := <-p.resume
+	if w.abort {
+		panic(errAborted)
+	}
+	return w.val
+}
+
+// scheduleResume queues an event at time t that resumes p with value v.
+func (p *Proc) scheduleResume(t Time, v any) {
+	p.eng.At(t, func() { p.eng.resumeProc(p, wakeup{val: v}) })
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simcore: negative sleep %v", d))
+	}
+	p.scheduleResume(p.eng.now.Add(d), nil)
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t ≤ now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.scheduleResume(t, nil)
+	p.park()
+}
+
+// Yield reschedules the process after all events already queued for the
+// current instant, without advancing time.
+func (p *Proc) Yield() {
+	p.scheduleResume(p.eng.now, nil)
+	p.park()
+}

@@ -1,0 +1,197 @@
+package simcore
+
+// waiter represents one parked process waiting on a Cond. The fired flag
+// resolves races between Signal and a timeout event: whichever happens
+// first claims the waiter.
+type waiter struct {
+	p     *Proc
+	fired bool
+	// timedOut is set when the wakeup came from the timeout path.
+	timedOut bool
+}
+
+// Cond is a FIFO condition/wait queue in simulated time. Unlike sync.Cond
+// there is no associated lock: the whole simulation is single-threaded, so
+// state inspected before Wait cannot change until the process parks.
+type Cond struct {
+	eng     *Engine
+	waiters []*waiter
+}
+
+// NewCond returns a condition queue bound to eng.
+func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
+
+// Len reports the number of processes currently waiting.
+func (c *Cond) Len() int { return len(c.waiters) }
+
+// Wait parks p until Signal or Broadcast wakes it. It returns the value
+// passed to Signal (nil for Broadcast).
+func (c *Cond) Wait(p *Proc) any {
+	w := &waiter{p: p}
+	c.waiters = append(c.waiters, w)
+	return p.park()
+}
+
+// WaitTimeout parks p until woken or until d elapses. It reports the value
+// passed by the waker and whether the wait timed out.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) (any, bool) {
+	w := &waiter{p: p}
+	c.waiters = append(c.waiters, w)
+	c.eng.After(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		w.timedOut = true
+		c.remove(w)
+		c.eng.resumeProc(p, wakeup{})
+	})
+	v := p.park()
+	return v, w.timedOut
+}
+
+func (c *Cond) remove(w *waiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting process, passing it v. It reports
+// whether any process was waiting. The wakeup is delivered through the
+// event queue at the current instant, preserving determinism.
+func (c *Cond) Signal(v any) bool {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		c.eng.At(c.eng.now, func() { c.eng.resumeProc(w.p, wakeup{val: v}) })
+		return true
+	}
+	return false
+}
+
+// Broadcast wakes every waiting process (with a nil value).
+func (c *Cond) Broadcast() int {
+	n := 0
+	for c.Signal(nil) {
+		n++
+	}
+	return n
+}
+
+// Queue is a FIFO message queue in simulated time, the basic
+// producer/consumer channel between simulation processes. A capacity of 0
+// means unbounded.
+type Queue struct {
+	eng      *Engine
+	cap      int
+	items    []any
+	notEmpty *Cond
+	notFull  *Cond
+	closed   bool
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue(eng *Engine, capacity int) *Queue {
+	return &Queue{
+		eng:      eng,
+		cap:      capacity,
+		notEmpty: NewCond(eng),
+		notFull:  NewCond(eng),
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool { return q.closed }
+
+// Close marks the queue closed: pending and future Gets on an empty queue
+// return ok=false; Puts panic.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Put appends v, blocking while the queue is at capacity.
+func (q *Queue) Put(p *Proc, v any) {
+	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+		q.notFull.Wait(p)
+	}
+	if q.closed {
+		panic("simcore: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal(nil)
+}
+
+// TryPut appends v if there is room, reporting success. It never blocks.
+func (q *Queue) TryPut(v any) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal(nil)
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false if the queue was closed and drained.
+func (q *Queue) Get(p *Proc) (v any, ok bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait(p)
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal(nil)
+	return v, true
+}
+
+// GetTimeout is Get with a deadline d from now; timedOut reports expiry.
+func (q *Queue) GetTimeout(p *Proc, d Duration) (v any, ok, timedOut bool) {
+	deadline := q.eng.now.Add(d)
+	for len(q.items) == 0 && !q.closed {
+		remain := deadline.Sub(q.eng.now)
+		if remain <= 0 {
+			return nil, false, true
+		}
+		if _, to := q.notEmpty.WaitTimeout(p, remain); to {
+			if len(q.items) > 0 || q.closed {
+				break
+			}
+			return nil, false, true
+		}
+	}
+	if len(q.items) == 0 {
+		return nil, false, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal(nil)
+	return v, true, false
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue) TryGet() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal(nil)
+	return v, true
+}

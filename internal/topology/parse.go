@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"microgrid/internal/gis"
+)
+
+// ParseSpec reads the text topology format:
+//
+//	# comment
+//	topology my-testbed
+//	host  ucsd0  1.11.11.1
+//	router core1
+//	link  ucsd0 core1 100Mbps 25us
+//	link  core1 core2 622Mbps 28ms queue=512KB loss=0.001
+//
+// Bandwidth accepts the GIS record notation (100Mbps, 1.2Gb/s); delay
+// accepts Go duration syntax (50ms, 25us).
+func ParseSpec(r io.Reader) (*Spec, error) {
+	sc := bufio.NewScanner(r)
+	spec := &Spec{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topology: line %d: want 'topology <name>'", lineNo)
+			}
+			spec.Name = fields[1]
+		case "host":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: want 'host <name> <addr>'", lineNo)
+			}
+			spec.Hosts = append(spec.Hosts, HostSpec{Name: fields[1], Addr: fields[2]})
+		case "router":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topology: line %d: want 'router <name>'", lineNo)
+			}
+			spec.Routers = append(spec.Routers, fields[1])
+		case "link":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("topology: line %d: want 'link <a> <b> <bw> <delay> [queue=N] [loss=P]'", lineNo)
+			}
+			bw, err := gis.ParseBandwidth(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+			delay, err := gis.ParseLatency(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+			}
+			l := LinkSpec{A: fields[1], B: fields[2], BandwidthBps: bw, Delay: delay}
+			for _, opt := range fields[5:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return nil, fmt.Errorf("topology: line %d: bad option %q", lineNo, opt)
+				}
+				switch k {
+				case "queue":
+					q, err := gis.ParseBytes(v)
+					if err != nil {
+						return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+					}
+					l.QueueBytes = int(q)
+				case "loss":
+					p, err := strconv.ParseFloat(v, 64)
+					if err != nil || p < 0 || p > 1 {
+						return nil, fmt.Errorf("topology: line %d: bad loss %q", lineNo, v)
+					}
+					l.LossProb = p
+				default:
+					return nil, fmt.Errorf("topology: line %d: unknown option %q", lineNo, k)
+				}
+			}
+			spec.Links = append(spec.Links, l)
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// String renders the spec back into the text format.
+func (s *Spec) String() string {
+	var b strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&b, "topology %s\n", s.Name)
+	}
+	for _, h := range s.Hosts {
+		fmt.Fprintf(&b, "host %s %s\n", h.Name, h.Addr)
+	}
+	for _, r := range s.Routers {
+		fmt.Fprintf(&b, "router %s\n", r)
+	}
+	for _, l := range s.Links {
+		fmt.Fprintf(&b, "link %s %s %s %s", l.A, l.B, gis.FormatSpeed(l.BandwidthBps, 0), l.Delay)
+		if l.QueueBytes != 0 {
+			fmt.Fprintf(&b, " queue=%s", gis.FormatBytes(int64(l.QueueBytes)))
+		}
+		if l.LossProb != 0 {
+			fmt.Fprintf(&b, " loss=%g", l.LossProb)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

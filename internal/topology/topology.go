@@ -1,0 +1,239 @@
+// Package topology builds simulated network topologies for MicroGrid
+// experiments: switched-Ethernet clusters, Myrinet-class system-area
+// networks, and the paper's fictional vBNS wide-area distributed cluster
+// testbed (Fig. 13). It also parses a small text configuration format so
+// arbitrary topologies can be described in files, the way the MicroGrid
+// "reads desired network configuration files and inputs a network
+// configuration for NSE".
+package topology
+
+import (
+	"fmt"
+
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+)
+
+// Spec describes a topology to build: named hosts, routers/switches, and
+// links between them.
+type Spec struct {
+	Name    string
+	Hosts   []HostSpec
+	Routers []string
+	Links   []LinkSpec
+}
+
+// HostSpec names a host and its address.
+type HostSpec struct {
+	Name string
+	Addr string // dotted quad
+}
+
+// LinkSpec joins two named nodes.
+type LinkSpec struct {
+	A, B         string
+	BandwidthBps float64
+	Delay        simcore.Duration
+	QueueBytes   int
+	LossProb     float64
+}
+
+// Build instantiates the spec on a fresh Network bound to eng.
+func (s *Spec) Build(eng *simcore.Engine) (*netsim.Network, error) {
+	nw := netsim.New(eng)
+	if err := s.Apply(nw, nil); err != nil {
+		return nil, err
+	}
+	nw.ComputeRoutes()
+	return nw, nil
+}
+
+// Apply adds the spec's nodes and links to an existing network. When scale
+// is non-nil every link config passes through it first — this is how a
+// virtual.Grid materializes a topology with simulation-rate scaling.
+// Routes are not recomputed.
+func (s *Spec) Apply(nw *netsim.Network, scale func(netsim.LinkConfig) netsim.LinkConfig) error {
+	for _, h := range s.Hosts {
+		addr, err := netsim.ParseAddr(h.Addr)
+		if err != nil {
+			return fmt.Errorf("topology %s: host %s: %v", s.Name, h.Name, err)
+		}
+		nw.AddHost(h.Name, addr)
+	}
+	for _, r := range s.Routers {
+		nw.AddRouter(r)
+	}
+	for _, l := range s.Links {
+		a, b := nw.Node(l.A), nw.Node(l.B)
+		if a == nil || b == nil {
+			return fmt.Errorf("topology %s: link %s--%s references unknown node", s.Name, l.A, l.B)
+		}
+		cfg := netsim.LinkConfig{
+			BandwidthBps: l.BandwidthBps,
+			Delay:        l.Delay,
+			QueueBytes:   l.QueueBytes,
+			LossProb:     l.LossProb,
+		}
+		if scale != nil {
+			cfg = scale(cfg)
+		}
+		nw.Connect(a, b, cfg)
+	}
+	return nil
+}
+
+// EthernetLAN describes a switched LAN: per-host links to a central switch.
+// The paper's Alpha cluster used 100 Mb Ethernet; host-to-switch delay
+// defaults to 25 µs per side (~50 µs host-to-host).
+type EthernetLAN struct {
+	// Name prefixes the switch node name.
+	Name string
+	// Hosts are the attached host names with addresses.
+	Hosts []HostSpec
+	// BandwidthBps per host link (e.g. 100e6).
+	BandwidthBps float64
+	// PerSideDelay is the host↔switch propagation delay (default 25 µs).
+	PerSideDelay simcore.Duration
+}
+
+// AddTo attaches the LAN to an existing network, creating the switch and
+// host nodes, and returns the switch node. Routes are not recomputed.
+func (l *EthernetLAN) AddTo(nw *netsim.Network) (*netsim.Node, error) {
+	if l.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("topology: LAN %s needs positive bandwidth", l.Name)
+	}
+	delay := l.PerSideDelay
+	if delay == 0 {
+		delay = 25 * simcore.Microsecond
+	}
+	sw := nw.AddRouter(l.Name + "-switch")
+	for _, h := range l.Hosts {
+		addr, err := netsim.ParseAddr(h.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("topology: LAN %s host %s: %v", l.Name, h.Name, err)
+		}
+		host := nw.AddHost(h.Name, addr)
+		nw.Connect(host, sw, netsim.LinkConfig{BandwidthBps: l.BandwidthBps, Delay: delay})
+	}
+	return sw, nil
+}
+
+// Cluster builds a LAN-only network of n hosts named <prefix>0..<prefix>n-1
+// with addresses base+i, connected through one switch.
+func Cluster(eng *simcore.Engine, prefix string, n int, baseAddr string, bandwidthBps float64, perSide simcore.Duration) (*netsim.Network, error) {
+	base, err := netsim.ParseAddr(baseAddr)
+	if err != nil {
+		return nil, err
+	}
+	lan := &EthernetLAN{Name: prefix, BandwidthBps: bandwidthBps, PerSideDelay: perSide}
+	for i := 0; i < n; i++ {
+		lan.Hosts = append(lan.Hosts, HostSpec{
+			Name: fmt.Sprintf("%s%d", prefix, i),
+			Addr: (base + netsim.Addr(i)).String(),
+		})
+	}
+	nw := netsim.New(eng)
+	if _, err := lan.AddTo(nw); err != nil {
+		return nil, err
+	}
+	nw.ComputeRoutes()
+	return nw, nil
+}
+
+// Myrinet builds a system-area network: like a LAN but with very low
+// per-side latency (default 5 µs) and gigabit-class bandwidth, as in the
+// paper's HPVM configuration (1.2 Gb Myrinet).
+func Myrinet(eng *simcore.Engine, prefix string, n int, baseAddr string, bandwidthBps float64) (*netsim.Network, error) {
+	return Cluster(eng, prefix, n, baseAddr, bandwidthBps, 5*simcore.Microsecond)
+}
+
+// OC bandwidths for the vBNS testbed.
+const (
+	OC3Bps  = 155e6
+	OC12Bps = 622e6
+)
+
+// VBNSConfig parameterizes the paper's fictional vBNS distributed-cluster
+// testbed (Fig. 13): two department LANs (UCSD CSE and UIUC CS) joined
+// across a wide-area backbone traversing "LAN, OC3, and OC12 links as well
+// as several routers". BottleneckBps varies the major WAN link for the
+// Fig. 14 sweep (622 Mb/s → 155 Mb/s → 10 Mb/s).
+type VBNSConfig struct {
+	// HostsPerSite is the number of hosts in each department LAN.
+	HostsPerSite int
+	// LANBandwidthBps is the department LAN speed (default 100 Mb/s).
+	LANBandwidthBps float64
+	// BottleneckBps is the varied major WAN link (default OC12).
+	BottleneckBps float64
+	// BackboneDelay is the one-way coast-to-coast propagation delay across
+	// the backbone (default 28 ms, a realistic San Diego–Urbana path).
+	BackboneDelay simcore.Duration
+}
+
+// VBNSSiteHosts returns the host names created per site.
+func VBNSSiteHosts(site string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", site, i)
+	}
+	return out
+}
+
+// VBNSSpec constructs the testbed's topology spec:
+//
+//	ucsd hosts — ucsd-switch — ucsd-gw —OC3— vbns-west —BOTTLENECK— vbns-east —OC3— uiuc-gw — uiuc-switch — uiuc hosts
+//
+// UCSD hosts get 1.11.11.x addresses; UIUC hosts 1.22.22.x (virtual-style
+// prefixes like the paper's GIS examples).
+func VBNSSpec(cfg VBNSConfig) (*Spec, error) {
+	if cfg.HostsPerSite <= 0 {
+		return nil, fmt.Errorf("topology: vBNS needs at least one host per site")
+	}
+	if cfg.LANBandwidthBps == 0 {
+		cfg.LANBandwidthBps = 100e6
+	}
+	if cfg.BottleneckBps == 0 {
+		cfg.BottleneckBps = OC12Bps
+	}
+	if cfg.BackboneDelay == 0 {
+		cfg.BackboneDelay = 28 * simcore.Millisecond
+	}
+	s := &Spec{Name: "vbns"}
+	lanDelay := 25 * simcore.Microsecond
+	for _, sp := range []struct{ site, prefix string }{{"ucsd", "1.11.11"}, {"uiuc", "1.22.22"}} {
+		site, prefix := sp.site, sp.prefix
+		s.Routers = append(s.Routers, site+"-switch", site+"-gw")
+		for i := 0; i < cfg.HostsPerSite; i++ {
+			name := fmt.Sprintf("%s%d", site, i)
+			s.Hosts = append(s.Hosts, HostSpec{Name: name, Addr: fmt.Sprintf("%s.%d", prefix, i+1)})
+			s.Links = append(s.Links, LinkSpec{
+				A: name, B: site + "-switch",
+				BandwidthBps: cfg.LANBandwidthBps, Delay: lanDelay,
+			})
+		}
+		// Campus link from department switch to the campus gateway.
+		s.Links = append(s.Links, LinkSpec{
+			A: site + "-switch", B: site + "-gw",
+			BandwidthBps: cfg.LANBandwidthBps, Delay: 100 * simcore.Microsecond,
+		})
+	}
+	s.Routers = append(s.Routers, "vbns-west", "vbns-east")
+	// Campus to backbone: OC3 access circuits, ~1 ms each.
+	s.Links = append(s.Links,
+		LinkSpec{A: "ucsd-gw", B: "vbns-west", BandwidthBps: OC3Bps, Delay: simcore.Millisecond},
+		LinkSpec{A: "uiuc-gw", B: "vbns-east", BandwidthBps: OC3Bps, Delay: simcore.Millisecond},
+		// The varied major WAN link.
+		LinkSpec{A: "vbns-west", B: "vbns-east", BandwidthBps: cfg.BottleneckBps,
+			Delay: cfg.BackboneDelay, QueueBytes: 512 * 1024},
+	)
+	return s, nil
+}
+
+// BuildVBNS constructs the testbed on a fresh network.
+func BuildVBNS(eng *simcore.Engine, cfg VBNSConfig) (*netsim.Network, error) {
+	spec, err := VBNSSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(eng)
+}

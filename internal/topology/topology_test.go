@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+)
+
+func TestClusterBuild(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	nw, err := Cluster(eng, "alpha", 4, "10.0.0.1", 100e6, 25*simcore.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Nodes()) != 5 { // 4 hosts + switch
+		t.Fatalf("nodes = %d", len(nw.Nodes()))
+	}
+	a, b := nw.Node("alpha0"), nw.Node("alpha3")
+	d, hops, ok := nw.PathDelay(a, b)
+	if !ok || hops != 2 || d != 50*simcore.Microsecond {
+		t.Fatalf("path d=%v hops=%d ok=%v", d, hops, ok)
+	}
+	if a.Addr.String() != "10.0.0.1" || b.Addr.String() != "10.0.0.4" {
+		t.Fatalf("addrs = %v %v", a.Addr, b.Addr)
+	}
+}
+
+func TestMyrinetLowLatency(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	nw, err := Myrinet(eng, "hpvm", 4, "10.1.0.1", 1.2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, ok := nw.PathDelay(nw.Node("hpvm0"), nw.Node("hpvm1"))
+	if !ok || d != 10*simcore.Microsecond {
+		t.Fatalf("d = %v", d)
+	}
+	bw, _ := nw.PathBottleneckBps(nw.Node("hpvm0"), nw.Node("hpvm1"))
+	if bw != 1.2e9 {
+		t.Fatalf("bw = %v", bw)
+	}
+}
+
+func TestBuildVBNS(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	nw, err := BuildVBNS(eng, VBNSConfig{HostsPerSite: 2, BottleneckBps: OC3Bps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, i := nw.Node("ucsd0"), nw.Node("uiuc0")
+	if u == nil || i == nil {
+		t.Fatal("site hosts missing")
+	}
+	d, hops, ok := nw.PathDelay(u, i)
+	if !ok {
+		t.Fatal("no cross-country path")
+	}
+	// LAN 25us + campus 100us + access 1ms + backbone 28ms + access 1ms +
+	// campus 100us + LAN 25us ≈ 30.25ms over 7 hops.
+	if hops != 7 {
+		t.Fatalf("hops = %d, want 7", hops)
+	}
+	want := 25*simcore.Microsecond*2 + 200*simcore.Microsecond + 2*simcore.Millisecond + 28*simcore.Millisecond
+	if d != want {
+		t.Fatalf("delay = %v, want %v", d, want)
+	}
+	bw, _ := nw.PathBottleneckBps(u, i)
+	if bw != 100e6 { // LAN is the bottleneck when backbone is OC3
+		t.Fatalf("bottleneck = %v", bw)
+	}
+	// Same-site path stays on the LAN.
+	d, hops, _ = nw.PathDelay(nw.Node("ucsd0"), nw.Node("ucsd1"))
+	if hops != 2 || d != 50*simcore.Microsecond {
+		t.Fatalf("intra-site d=%v hops=%d", d, hops)
+	}
+}
+
+func TestBuildVBNSBottleneckSweep(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	nw, err := BuildVBNS(eng, VBNSConfig{HostsPerSite: 1, BottleneckBps: 10e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, _ := nw.PathBottleneckBps(nw.Node("ucsd0"), nw.Node("uiuc0"))
+	if bw != 10e6 {
+		t.Fatalf("bottleneck = %v", bw)
+	}
+}
+
+func TestBuildVBNSValidation(t *testing.T) {
+	if _, err := BuildVBNS(simcore.NewEngine(1), VBNSConfig{}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+}
+
+func TestVBNSSiteHosts(t *testing.T) {
+	got := VBNSSiteHosts("ucsd", 2)
+	if len(got) != 2 || got[0] != "ucsd0" || got[1] != "ucsd1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+const specText = `
+# test topology
+topology demo
+host a 10.0.0.1
+host b 10.0.0.2
+router r
+link a r 100Mbps 25us
+link r b 622Mb/s 28ms queue=512KB loss=0.01
+`
+
+func TestParseSpecAndBuild(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || len(spec.Hosts) != 2 || len(spec.Routers) != 1 || len(spec.Links) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Links[1].QueueBytes != 512<<10 || spec.Links[1].LossProb != 0.01 {
+		t.Fatalf("link opts = %+v", spec.Links[1])
+	}
+	eng := simcore.NewEngine(1)
+	nw, err := spec.Build(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, hops, ok := nw.PathDelay(nw.Node("a"), nw.Node("b"))
+	if !ok || hops != 2 || d != 28*simcore.Millisecond+25*simcore.Microsecond {
+		t.Fatalf("d=%v hops=%d", d, hops)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"nonsense directive",
+		"host onlyname",
+		"host a not-an-addr", // caught at Build, not parse
+		"router",
+		"link a b 100Mbps",
+		"link a b junk 25us",
+		"link a b 100Mbps junk",
+		"link a b 100Mbps 25us bogus",
+		"link a b 100Mbps 25us loss=2",
+		"link a b 100Mbps 25us queue=xyz",
+		"topology",
+	}
+	for _, text := range bad {
+		if text == "host a not-an-addr" {
+			spec, err := ParseSpec(strings.NewReader(text))
+			if err != nil {
+				t.Errorf("ParseSpec(%q) rejected at parse; want Build-time error", text)
+				continue
+			}
+			if _, err := spec.Build(simcore.NewEngine(1)); err == nil {
+				t.Errorf("Build(%q) accepted bad address", text)
+			}
+			continue
+		}
+		if _, err := ParseSpec(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", text)
+		}
+	}
+}
+
+func TestSpecBuildUnknownLinkNode(t *testing.T) {
+	spec := &Spec{Links: []LinkSpec{{A: "x", B: "y", BandwidthBps: 1e6}}}
+	if _, err := spec.Build(simcore.NewEngine(1)); err == nil {
+		t.Fatal("unknown link endpoints accepted")
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := ParseSpec(strings.NewReader(spec.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, spec.String())
+	}
+	if spec2.Name != spec.Name || len(spec2.Links) != len(spec.Links) {
+		t.Fatalf("round trip changed spec: %+v", spec2)
+	}
+	if spec2.Links[1].BandwidthBps != spec.Links[1].BandwidthBps ||
+		spec2.Links[1].Delay != spec.Links[1].Delay ||
+		spec2.Links[1].LossProb != spec.Links[1].LossProb {
+		t.Fatalf("link round trip: %+v vs %+v", spec2.Links[1], spec.Links[1])
+	}
+}
+
+func TestEthernetLANValidation(t *testing.T) {
+	nw := netsim.New(simcore.NewEngine(1))
+	lan := &EthernetLAN{Name: "x"}
+	if _, err := lan.AddTo(nw); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	lan = &EthernetLAN{Name: "y", BandwidthBps: 1e6, Hosts: []HostSpec{{Name: "h", Addr: "bad"}}}
+	if _, err := lan.AddTo(nw); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,341 @@
+// Package virtual implements the MicroGrid's virtualization layer (paper
+// §2.2): the virtual Grid an application perceives. Applications are
+// written against Process — the analog of the intercepted libc/Globus
+// interface (gethostname, sockets, gettimeofday, memory allocation,
+// compute) — and observe only virtual host names, virtual IPs and virtual
+// time, regardless of the physical resources underneath.
+//
+// A Grid maps every virtual host onto a physical cpusched.Host. In
+// emulation mode each virtual host's processes are governed by the
+// Figure-4 CPU-fraction scheduler at fraction = vMIPS·rate/physMIPS, the
+// network simulator runs with delays scaled by 1/rate and bandwidths by
+// rate (so deliveries land at the correct *virtual* instants), and
+// Gettimeofday returns rate-scaled time. In direct mode (rate 1, no
+// controllers) the same application code runs at full speed on a model of
+// the target hardware — that is the "physical grid" reference run the
+// paper validates against.
+package virtual
+
+import (
+	"fmt"
+
+	"microgrid/internal/cpusched"
+	"microgrid/internal/memmodel"
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+	"microgrid/internal/vtime"
+)
+
+// HostConfig describes one virtual host.
+type HostConfig struct {
+	// Name is the virtual host name (e.g. "vm0.ucsd.edu").
+	Name string
+	// IP is the host's address on the virtual network.
+	IP netsim.Addr
+	// CPUSpeedMIPS is the virtual processor speed.
+	CPUSpeedMIPS float64
+	// MemoryBytes is the virtual memory capacity (0 = unlimited 4 GB).
+	MemoryBytes int64
+	// MappedPhysical names the physical host this virtual host runs on.
+	MappedPhysical string
+}
+
+// PhysConfig describes one physical (emulation) machine.
+type PhysConfig struct {
+	Name         string
+	CPUSpeedMIPS float64
+	// Quantum is the MicroGrid scheduler quantum on this machine
+	// (cpusched.DefaultQuantum when zero). Fig. 11 sweeps this.
+	Quantum simcore.Duration
+}
+
+// Config assembles a virtual grid.
+type Config struct {
+	// Hosts are the virtual hosts.
+	Hosts []HostConfig
+	// Phys are the physical machines; every MappedPhysical must name one.
+	Phys []PhysConfig
+	// Rate is the simulation rate (virtual seconds per physical second).
+	// Zero means "fastest feasible" as computed from the resource specs.
+	Rate float64
+	// Direct disables fraction controllers and time scaling: the grid
+	// models the target hardware natively (the reference run). Direct
+	// requires every virtual host to have a dedicated physical host at
+	// least as fast as the virtual speed.
+	Direct bool
+	// SendOverheadOps and PerByteOps are the CPU cost charged to a
+	// process per message and per payload byte (virtual-host ops).
+	// Defaults: 8000 and 0.5.
+	SendOverheadOps float64
+	PerByteOps      float64
+	// FlowNetwork switches the network simulator to analytic flow-level
+	// modeling: far fewer events, no congestion fidelity (the
+	// speed-vs-fidelity axis of the paper's future work).
+	FlowNetwork bool
+	// StaggerSpread offsets each host's scheduler-daemon start within its
+	// duty cycle, modeling daemons launched at different moments on
+	// different machines: 0 (the default) is a perfectly coordinated
+	// deployment with phase-aligned windows; 1 spreads starts across the
+	// whole cycle (worst case). Staggered phases reproduce the
+	// quantum-dependent modeling errors of Fig. 11.
+	StaggerSpread float64
+}
+
+// Grid is a running virtual grid.
+type Grid struct {
+	eng    *simcore.Engine
+	clock  *vtime.Clock
+	vnet   *netsim.Network
+	rate   float64
+	direct bool
+	hosts  map[string]*Host
+	byIP   map[netsim.Addr]*Host
+	phys   map[string]*cpusched.Host
+	// controllers holds one MicroGrid scheduler daemon per physical host
+	// (emulated grids only).
+	controllers map[string]*cpusched.MultiController
+	stagger     float64
+
+	sendOverheadOps float64
+	perByteOps      float64
+}
+
+// Host is one virtual host.
+type Host struct {
+	grid *Grid
+	// Name and IP are what applications observe.
+	Name string
+	IP   netsim.Addr
+	// CPUSpeedMIPS is the virtual processor speed.
+	CPUSpeedMIPS float64
+	// Node is the host's attachment point in the (scaled) network
+	// simulator; it must be wired by the topology builder before use.
+	Node *netsim.Node
+	// Mem enforces the host's memory capacity.
+	Mem *memmodel.Limiter
+	// Phys is the physical machine hosting this virtual host.
+	Phys *cpusched.Host
+	// Fraction is the physical CPU share allocated (1 in direct mode).
+	Fraction float64
+
+	task *cpusched.Task
+	job  *cpusched.ControlledJob
+	// cpu serializes the single virtual CPU among this host's processes.
+	cpu    *simcore.Mutex
+	nprocs int
+}
+
+// NewGrid builds the virtual grid runtime. The caller supplies the virtual
+// network topology through wire: it receives the scaled netsim.Network and
+// must create one netsim node per virtual host (matching Name and IP) plus
+// any routers/links. Link parameters passed to scale() are converted from
+// virtual to engine units.
+func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scale func(netsim.LinkConfig) netsim.LinkConfig) error) (*Grid, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("virtual: no hosts configured")
+	}
+	phys := make(map[string]*cpusched.Host, len(cfg.Phys))
+	for _, pc := range cfg.Phys {
+		if pc.CPUSpeedMIPS <= 0 {
+			return nil, fmt.Errorf("virtual: physical host %s needs positive speed", pc.Name)
+		}
+		phys[pc.Name] = cpusched.NewHost(eng, pc.Name, pc.CPUSpeedMIPS, pc.Quantum)
+	}
+
+	rate := cfg.Rate
+	if rate == 0 {
+		// The coherent rate is bounded by each physical machine's
+		// capacity against the *sum* of the virtual CPUs mapped onto it
+		// (several virtual hosts may share one machine).
+		demand := map[string]float64{}
+		for _, h := range cfg.Hosts {
+			if _, ok := phys[h.MappedPhysical]; !ok {
+				return nil, fmt.Errorf("virtual: host %s maps to unknown physical %q", h.Name, h.MappedPhysical)
+			}
+			demand[h.MappedPhysical] += h.CPUSpeedMIPS
+		}
+		var rr []vtime.ResourceRate
+		for name, d := range demand {
+			rr = append(rr, vtime.ResourceRate{
+				Resource: name, Kind: "cpu",
+				Physical: phys[name].SpeedMIPS(), Virtual: d,
+			})
+		}
+		rate, _ = vtime.MaxFeasibleRate(rr)
+		if rate > 1 {
+			rate = 1
+		}
+	}
+	if cfg.Direct {
+		rate = 1
+	}
+
+	g := &Grid{
+		eng:             eng,
+		clock:           vtime.NewClock(eng, rate),
+		rate:            rate,
+		direct:          cfg.Direct,
+		hosts:           make(map[string]*Host),
+		byIP:            make(map[netsim.Addr]*Host),
+		phys:            phys,
+		controllers:     make(map[string]*cpusched.MultiController),
+		stagger:         cfg.StaggerSpread,
+		sendOverheadOps: cfg.SendOverheadOps,
+		perByteOps:      cfg.PerByteOps,
+	}
+	if g.sendOverheadOps == 0 {
+		g.sendOverheadOps = 8000
+	}
+	if g.perByteOps == 0 {
+		g.perByteOps = 0.5
+	}
+
+	g.vnet = netsim.New(eng)
+	if err := wire(g.vnet, g.ScaleLink); err != nil {
+		return nil, err
+	}
+	g.vnet.ComputeRoutes()
+	g.vnet.SetFlowMode(cfg.FlowNetwork)
+
+	for _, hc := range cfg.Hosts {
+		if hc.CPUSpeedMIPS <= 0 {
+			return nil, fmt.Errorf("virtual: host %s needs positive CPU speed", hc.Name)
+		}
+		p, ok := phys[hc.MappedPhysical]
+		if !ok {
+			return nil, fmt.Errorf("virtual: host %s maps to unknown physical %q", hc.Name, hc.MappedPhysical)
+		}
+		node := g.vnet.Node(hc.Name)
+		if node == nil {
+			return nil, fmt.Errorf("virtual: topology has no node for host %s", hc.Name)
+		}
+		if node.Addr != hc.IP {
+			return nil, fmt.Errorf("virtual: node %s has address %v, config says %v", hc.Name, node.Addr, hc.IP)
+		}
+		mem := hc.MemoryBytes
+		if mem == 0 {
+			mem = 4 << 30
+		}
+		h := &Host{
+			grid:         g,
+			Name:         hc.Name,
+			IP:           hc.IP,
+			CPUSpeedMIPS: hc.CPUSpeedMIPS,
+			Node:         node,
+			Mem:          memmodel.NewLimiter(mem),
+			Phys:         p,
+			cpu:          simcore.NewMutex(eng),
+		}
+		h.task = p.NewTask("vhost:" + hc.Name)
+		if cfg.Direct {
+			h.Fraction = 1
+			if hc.CPUSpeedMIPS > p.SpeedMIPS()+1e-9 {
+				return nil, fmt.Errorf("virtual: direct mode: host %s (%.0f MIPS) exceeds physical %s (%.0f MIPS)",
+					hc.Name, hc.CPUSpeedMIPS, p.Name, p.SpeedMIPS())
+			}
+		} else {
+			h.Fraction = hc.CPUSpeedMIPS * rate / p.SpeedMIPS()
+			if h.Fraction > 1+1e-9 {
+				return nil, fmt.Errorf("virtual: infeasible rate %.4g: host %s needs fraction %.3f of %s",
+					rate, hc.Name, h.Fraction, p.Name)
+			}
+			job, err := g.controllerFor(p).AddJob(h.task, h.Fraction)
+			if err != nil {
+				return nil, fmt.Errorf("virtual: mapping %s onto %s: %w", hc.Name, p.Name, err)
+			}
+			h.job = job
+		}
+		g.hosts[hc.Name] = h
+		g.byIP[hc.IP] = h
+	}
+	return g, nil
+}
+
+// ScaleLink converts a link specified in virtual units to engine (physical)
+// units: delays stretch by 1/rate, bandwidths shrink by rate. In direct
+// mode it is the identity.
+func (g *Grid) ScaleLink(cfg netsim.LinkConfig) netsim.LinkConfig {
+	if g.rate == 1 {
+		return cfg
+	}
+	cfg.BandwidthBps *= g.rate
+	cfg.Delay = simcore.Duration(float64(cfg.Delay) / g.rate)
+	return cfg
+}
+
+// Engine returns the engine the grid runs on.
+func (g *Grid) Engine() *simcore.Engine { return g.eng }
+
+// Clock returns the grid's virtual clock.
+func (g *Grid) Clock() *vtime.Clock { return g.clock }
+
+// Rate returns the simulation rate.
+func (g *Grid) Rate() float64 { return g.rate }
+
+// Network returns the (scaled) virtual network simulator.
+func (g *Grid) Network() *netsim.Network { return g.vnet }
+
+// Host returns the named virtual host, or nil.
+func (g *Grid) Host(name string) *Host { return g.hosts[name] }
+
+// Phys returns the named physical host, or nil.
+func (g *Grid) PhysHost(name string) *cpusched.Host { return g.phys[name] }
+
+// Resolve is the gethostbyname analog: virtual host name → virtual IP.
+func (g *Grid) Resolve(name string) (netsim.Addr, error) {
+	if h, ok := g.hosts[name]; ok {
+		return h.IP, nil
+	}
+	if a, err := netsim.ParseAddr(name); err == nil {
+		if _, ok := g.byIP[a]; ok {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("virtual: unknown host %q", name)
+}
+
+// HostByIP is the reverse mapping.
+func (g *Grid) HostByIP(a netsim.Addr) *Host { return g.byIP[a] }
+
+// controllerFor returns — creating and spawning on demand — the MicroGrid
+// scheduler daemon of a physical host. The daemon cycles on a fixed wall
+// schedule even while its jobs are idle, exactly like the real scheduler:
+// phase alignment across hosts is what makes virtual time advance
+// coherently. Call StopControllers when the workload completes so the
+// simulation can drain.
+func (g *Grid) controllerFor(p *cpusched.Host) *cpusched.MultiController {
+	if mc, ok := g.controllers[p.Name]; ok {
+		return mc
+	}
+	mc := cpusched.NewMultiController(p)
+	if g.stagger > 0 {
+		// Offset daemons across machines with a low-discrepancy sequence,
+		// spread over up to two quanta per unit of stagger (the typical
+		// on/off cycle scale).
+		frac := float64(len(g.controllers)) * 0.6180339887
+		frac -= float64(int(frac))
+		mc.StartDelay = simcore.Duration(g.stagger * frac * 2 * float64(mc.Quantum))
+	}
+	g.controllers[p.Name] = mc
+	mc.Spawn()
+	return mc
+}
+
+// StopControllers terminates every physical host's scheduler daemon.
+// Call it when the workload has completed: the daemons cycle forever
+// otherwise (by design — their fixed schedule is what keeps hosts
+// phase-aligned), which would keep the simulation from draining.
+func (g *Grid) StopControllers() {
+	for _, mc := range g.controllers {
+		mc.Terminate()
+	}
+}
+
+// Hosts returns all virtual host names (unordered).
+func (g *Grid) HostNames() []string {
+	out := make([]string, 0, len(g.hosts))
+	for n := range g.hosts {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package virtual
+
+import (
+	"fmt"
+
+	"microgrid/internal/cpusched"
+)
+
+// Migrate remaps the virtual host onto another physical machine — the
+// paper's near-term future-work item "dynamic mapping of virtual
+// resources" (§5). The host's identity (name, IP, memory, network
+// attachment) is unchanged; only its compute placement moves.
+//
+// Migration requires the host to be computationally quiescent: no process
+// may be mid-Compute (network waits are fine). A real implementation
+// would checkpoint the process; requiring quiescence models migrating
+// between application phases.
+func (h *Host) Migrate(target *cpusched.Host) error {
+	if target == nil {
+		return fmt.Errorf("virtual: migrate %s: nil target", h.Name)
+	}
+	if target == h.Phys {
+		return nil
+	}
+	if h.cpu.Held() || h.task.HasDemand() {
+		return fmt.Errorf("virtual: migrate %s: host is computing; migration requires quiescence", h.Name)
+	}
+	g := h.grid
+	var fraction float64
+	if g.direct {
+		fraction = 1
+		if h.CPUSpeedMIPS > target.SpeedMIPS()+1e-9 {
+			return fmt.Errorf("virtual: migrate %s: direct mode needs physical ≥ %.0f MIPS, %s has %.0f",
+				h.Name, h.CPUSpeedMIPS, target.Name, target.SpeedMIPS())
+		}
+	} else {
+		fraction = h.CPUSpeedMIPS * g.rate / target.SpeedMIPS()
+		if fraction > 1+1e-9 {
+			return fmt.Errorf("virtual: migrate %s: needs fraction %.3f of %s (infeasible at rate %.4g)",
+				h.Name, fraction, target.Name, g.rate)
+		}
+	}
+	// Retire the old placement.
+	if h.job != nil {
+		g.controllers[h.Phys.Name].RemoveJob(h.job)
+		h.job = nil
+	}
+	// New task on the target, under its scheduler daemon.
+	h.Phys = target
+	h.Fraction = fraction
+	h.task = target.NewTask("vhost:" + h.Name)
+	if !g.direct {
+		job, err := g.controllerFor(target).AddJob(h.task, fraction)
+		if err != nil {
+			return fmt.Errorf("virtual: migrate %s: %w", h.Name, err)
+		}
+		h.job = job
+	}
+	return nil
+}

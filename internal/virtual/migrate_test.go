@@ -1,0 +1,147 @@
+package virtual
+
+import (
+	"math"
+	"testing"
+
+	"microgrid/internal/cpusched"
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+)
+
+// migGrid builds a 1-host emulated grid plus a spare (faster) physical
+// machine to migrate to.
+func migGrid(t *testing.T, eng *simcore.Engine, rate float64, direct bool) (*Grid, *cpusched.Host) {
+	t.Helper()
+	cfg := Config{
+		Rate:   rate,
+		Direct: direct,
+		Hosts: []HostConfig{{
+			Name: "vm0", IP: netsim.MustParseAddr("1.11.11.1"),
+			CPUSpeedMIPS: 533, MappedPhysical: "p0",
+		}},
+		Phys: []PhysConfig{
+			{Name: "p0", CPUSpeedMIPS: 533},
+			{Name: "p1", CPUSpeedMIPS: 2132}, // 4× faster spare
+		},
+	}
+	g, err := NewGrid(eng, cfg, LANWire(cfg.Hosts, 100e6, simcore.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g.PhysHost("p1")
+}
+
+func TestMigrateEmulated(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g, spare := migGrid(t, eng, 0.5, false)
+	h := g.Host("vm0")
+	if math.Abs(h.Fraction-0.5) > 1e-9 {
+		t.Fatalf("initial fraction = %v", h.Fraction)
+	}
+	var t1, t2 simcore.Duration
+	if _, err := h.Spawn("app", func(p *Process) {
+		start := p.Gettimeofday()
+		p.ComputeVirtualSeconds(0.5)
+		t1 = p.Gettimeofday().Sub(start)
+		if err := h.Migrate(spare); err != nil {
+			t.Errorf("migrate: %v", err)
+			return
+		}
+		// On the 4× machine the fraction drops to 0.125 but virtual-time
+		// behaviour must be identical.
+		if math.Abs(h.Fraction-0.125) > 1e-9 {
+			t.Errorf("fraction after migrate = %v", h.Fraction)
+		}
+		start = p.Gettimeofday()
+		p.ComputeVirtualSeconds(0.5)
+		t2 = p.Gettimeofday().Sub(start)
+		g.StopControllers()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []simcore.Duration{t1, t2} {
+		if math.Abs(d.Seconds()-0.5) > 0.06 {
+			t.Fatalf("phase %d took %v virtual, want ≈0.5s", i+1, d)
+		}
+	}
+	if g.Host("vm0").Phys != spare {
+		t.Fatal("placement not updated")
+	}
+}
+
+func TestMigrateDirect(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g, spare := migGrid(t, eng, 0, true)
+	h := g.Host("vm0")
+	if _, err := h.Spawn("app", func(p *Process) {
+		p.ComputeVirtualSeconds(0.1)
+		if err := h.Migrate(spare); err != nil {
+			t.Errorf("migrate: %v", err)
+		}
+		p.ComputeVirtualSeconds(0.1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateRequiresQuiescence(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g, spare := migGrid(t, eng, 0.5, false)
+	h := g.Host("vm0")
+	if _, err := h.Spawn("busy", func(p *Process) {
+		p.ComputeVirtualSeconds(0.2)
+		g.StopControllers()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Spawn("migrator", func(p *Process) {
+		p.Sleep(10 * simcore.Millisecond) // while busy is computing
+		if err := h.Migrate(spare); err == nil {
+			t.Error("migration during compute accepted")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateInfeasible(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	cfg := Config{
+		Rate: 0.5,
+		Hosts: []HostConfig{{
+			Name: "vm0", IP: netsim.MustParseAddr("1.11.11.1"),
+			CPUSpeedMIPS: 533, MappedPhysical: "p0",
+		}},
+		Phys: []PhysConfig{
+			{Name: "p0", CPUSpeedMIPS: 533},
+			{Name: "tiny", CPUSpeedMIPS: 100}, // too slow for rate 0.5
+		},
+	}
+	g, err := NewGrid(eng, cfg, LANWire(cfg.Hosts, 100e6, simcore.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Host("vm0").Migrate(g.PhysHost("tiny")); err == nil {
+		t.Fatal("infeasible migration accepted")
+	}
+	if err := g.Host("vm0").Migrate(nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if err := g.Host("vm0").Migrate(g.PhysHost("p0")); err != nil {
+		t.Fatalf("self-migration should be a no-op: %v", err)
+	}
+	g.StopControllers()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package virtual
+
+import (
+	"fmt"
+
+	"microgrid/internal/memmodel"
+	"microgrid/internal/simcore"
+)
+
+// Process is an application process on a virtual host: the virtual Grid
+// interface. Its methods are the analogs of the library calls the real
+// MicroGrid intercepts — gethostname, gettimeofday, socket operations —
+// plus explicit Compute/Malloc since our applications are models rather
+// than native binaries.
+type Process struct {
+	host *Host
+	proc *simcore.Proc
+	mem  *memmodel.ProcMem
+	name string
+	// CPUTime accumulates virtual CPU consumed by this process.
+	CPUTime simcore.Duration
+	dead    bool
+}
+
+// Spawn starts fn as a new process on the virtual host. The process's
+// memory account is charged the standard overhead; Spawn fails if the host
+// is out of memory.
+func (h *Host) Spawn(name string, fn func(p *Process)) (*Process, error) {
+	h.nprocs++
+	pname := fmt.Sprintf("%s/%s#%d", h.Name, name, h.nprocs)
+	mem, err := h.Mem.NewProcess(pname)
+	if err != nil {
+		return nil, err
+	}
+	vp := &Process{host: h, mem: mem, name: pname}
+	vp.proc = h.grid.eng.Spawn(pname, func(p *simcore.Proc) {
+		vp.proc = p
+		defer func() {
+			vp.dead = true
+			mem.Release()
+		}()
+		fn(vp)
+	})
+	return vp, nil
+}
+
+// SpawnDaemon is Spawn for processes expected to outlive the run (accept
+// loops); they do not count as deadlocks at engine drain.
+func (h *Host) SpawnDaemon(name string, fn func(p *Process)) (*Process, error) {
+	vp, err := h.Spawn(name, fn)
+	if err != nil {
+		return nil, err
+	}
+	vp.proc.SetDaemon(true)
+	return vp, nil
+}
+
+// Host returns the virtual host this process runs on.
+func (p *Process) Host() *Host { return p.host }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Proc exposes the underlying simulation process (for primitives).
+func (p *Process) Proc() *simcore.Proc { return p.proc }
+
+// Gethostname returns the virtual host name — the intercepted
+// gethostname() of the paper.
+func (p *Process) Gethostname() string { return p.host.Name }
+
+// Gettimeofday returns the current virtual time — the intercepted
+// gettimeofday(), giving "the illusion of a virtual machine at full
+// speed".
+func (p *Process) Gettimeofday() simcore.Time { return p.host.grid.clock.Gettimeofday() }
+
+// Sleep suspends the process for a span of *virtual* time.
+func (p *Process) Sleep(d simcore.Duration) { p.host.grid.clock.SleepVirtual(p.proc, d) }
+
+// Malloc charges bytes against the virtual host's memory capacity.
+func (p *Process) Malloc(bytes int64) error { return p.mem.Malloc(bytes) }
+
+// Free returns bytes to the virtual host.
+func (p *Process) Free(bytes int64) { p.mem.Free(bytes) }
+
+// MemUsed reports the process's current memory charge.
+func (p *Process) MemUsed() int64 { return p.mem.Used() }
+
+// acquireCPU serializes this host's single virtual CPU among processes.
+func (h *Host) acquireCPU(p *simcore.Proc) { h.cpu.Lock(p) }
+
+func (h *Host) releaseCPU() { h.cpu.Unlock() }
+
+// Compute executes ops operations on the virtual CPU, blocking in
+// simulation until they complete. Ops are in virtual-host units: running
+// alone, ops = CPUSpeedMIPS·1e6 takes one virtual second.
+func (p *Process) Compute(ops float64) {
+	if ops <= 0 {
+		return
+	}
+	h := p.host
+	h.acquireCPU(p.proc)
+	start := p.proc.Now()
+	h.task.Compute(p.proc, ops)
+	p.CPUTime += h.grid.clock.ToVirtual(p.proc.Now().Sub(start))
+	h.releaseCPU()
+}
+
+// ComputeVirtualSeconds executes s seconds' worth of the virtual CPU's
+// full-speed work.
+func (p *Process) ComputeVirtualSeconds(s float64) {
+	p.Compute(s * p.host.CPUSpeedMIPS * 1e6)
+}
+
+// ChargeMessage bills the CPU cost of one message send or receive: the
+// fixed per-message overhead plus the per-byte copy cost.
+func (p *Process) ChargeMessage(bytes int) {
+	g := p.host.grid
+	p.Compute(g.sendOverheadOps + g.perByteOps*float64(bytes))
+}

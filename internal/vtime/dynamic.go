@@ -1,0 +1,91 @@
+package vtime
+
+import (
+	"fmt"
+
+	"microgrid/internal/simcore"
+)
+
+// DynamicClock is a virtual clock whose simulation rate can change during
+// a run — the paper's near-term future-work item "dynamic virtual time"
+// (§5). Virtual time is the integral of the rate over physical time, so
+// it is continuous and strictly monotone across rate changes.
+//
+// Rate changes let an experimenter slow the emulation when the simulation
+// load spikes (keeping it feasible) and speed it back up afterwards,
+// without disturbing virtual-time measurements.
+type DynamicClock struct {
+	eng *simcore.Engine
+	// segments records every rate change; the current rate is the last
+	// entry's.
+	segments []rateSegment
+	// vbase is the accumulated virtual time at the start of the current
+	// segment.
+	vbase simcore.Duration
+}
+
+type rateSegment struct {
+	start simcore.Time
+	rate  float64
+}
+
+// NewDynamicClock starts a dynamic clock at the given rate, with virtual
+// time 0 at the engine's current time.
+func NewDynamicClock(eng *simcore.Engine, rate float64) *DynamicClock {
+	if rate <= 0 {
+		panic(fmt.Sprintf("vtime: non-positive rate %g", rate))
+	}
+	return &DynamicClock{
+		eng:      eng,
+		segments: []rateSegment{{start: eng.Now(), rate: rate}},
+	}
+}
+
+// Rate returns the current simulation rate.
+func (c *DynamicClock) Rate() float64 {
+	return c.segments[len(c.segments)-1].rate
+}
+
+// SetRate changes the simulation rate from now on. Virtual time remains
+// continuous: no jump occurs at the change point.
+func (c *DynamicClock) SetRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("vtime: non-positive rate %g", rate))
+	}
+	cur := c.segments[len(c.segments)-1]
+	now := c.eng.Now()
+	c.vbase += simcore.Duration(float64(now.Sub(cur.start)) * cur.rate)
+	c.segments = append(c.segments, rateSegment{start: now, rate: rate})
+}
+
+// Gettimeofday returns the current virtual time: the rate-integral since
+// the clock started.
+func (c *DynamicClock) Gettimeofday() simcore.Time {
+	cur := c.segments[len(c.segments)-1]
+	elapsed := c.eng.Now().Sub(cur.start)
+	return simcore.Time(c.vbase + simcore.Duration(float64(elapsed)*cur.rate))
+}
+
+// Changes returns the number of rate segments (1 = never changed).
+func (c *DynamicClock) Changes() int { return len(c.segments) }
+
+// SleepVirtual suspends p for a span of virtual time under the *current*
+// rate. If the rate changes while sleeping, the wake time is recomputed
+// so the requested virtual span is honored exactly; the process may wake
+// up to one re-check late per rate change.
+func (c *DynamicClock) SleepVirtual(p *simcore.Proc, d simcore.Duration) {
+	deadline := c.Gettimeofday().Add(d)
+	for {
+		now := c.Gettimeofday()
+		if now >= deadline {
+			return
+		}
+		remainVirtual := deadline.Sub(now)
+		rate := c.Rate()
+		phys := simcore.Duration(float64(remainVirtual) / rate)
+		if phys <= 0 {
+			phys = simcore.Nanosecond
+		}
+		p.Sleep(phys)
+	}
+}

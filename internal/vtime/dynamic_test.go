@@ -1,0 +1,148 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"microgrid/internal/simcore"
+)
+
+func TestDynamicClockConstantRate(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	c := NewDynamicClock(eng, 0.5)
+	eng.Spawn("p", func(p *simcore.Proc) {
+		p.Sleep(10 * simcore.Second)
+		if got := c.Gettimeofday(); got != simcore.Time(5*simcore.Second) {
+			t.Errorf("virtual = %v, want 5s", got)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicClockRateChangeContinuity(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	c := NewDynamicClock(eng, 1.0)
+	eng.Spawn("p", func(p *simcore.Proc) {
+		p.Sleep(2 * simcore.Second) // virtual 2s
+		before := c.Gettimeofday()
+		c.SetRate(0.25)
+		after := c.Gettimeofday()
+		if before != after {
+			t.Errorf("virtual time jumped at rate change: %v -> %v", before, after)
+		}
+		p.Sleep(4 * simcore.Second) // virtual +1s at rate 0.25
+		if got := c.Gettimeofday(); got != simcore.Time(3*simcore.Second) {
+			t.Errorf("virtual = %v, want 3s", got)
+		}
+		c.SetRate(2.0)
+		p.Sleep(simcore.Second) // virtual +2s
+		if got := c.Gettimeofday(); got != simcore.Time(5*simcore.Second) {
+			t.Errorf("virtual = %v, want 5s", got)
+		}
+		if c.Changes() != 3 {
+			t.Errorf("segments = %d", c.Changes())
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicClockSleepAcrossRateChange(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	c := NewDynamicClock(eng, 1.0)
+	var woke simcore.Time
+	eng.Spawn("sleeper", func(p *simcore.Proc) {
+		c.SleepVirtual(p, 4*simcore.Second)
+		woke = c.Gettimeofday()
+	})
+	eng.Spawn("changer", func(p *simcore.Proc) {
+		p.Sleep(simcore.Second)
+		c.SetRate(0.5) // the remaining 3 virtual seconds now take 6 physical
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Woke at virtual 4s (1 + 3), physical 7s.
+	if math.Abs(woke.Seconds()-4) > 1e-6 {
+		t.Fatalf("woke at virtual %v, want 4s", woke)
+	}
+	if math.Abs(simcore.Time(eng.Now()).Seconds()-7) > 1e-6 {
+		t.Fatalf("physical end = %v, want 7s", eng.Now())
+	}
+}
+
+func TestDynamicClockValidation(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	c := NewDynamicClock(eng, 1)
+	c.SetRate(0)
+}
+
+// Property: virtual time is monotone non-decreasing across arbitrary
+// positive rate changes and sleeps.
+func TestPropertyDynamicMonotone(t *testing.T) {
+	f := func(steps []uint8) bool {
+		eng := simcore.NewEngine(9)
+		c := NewDynamicClock(eng, 1)
+		ok := true
+		eng.Spawn("p", func(p *simcore.Proc) {
+			last := simcore.Time(0)
+			for _, s := range steps {
+				rate := float64(s%40+1) / 10.0
+				c.SetRate(rate)
+				p.Sleep(simcore.Duration(s%7+1) * simcore.Millisecond)
+				now := c.Gettimeofday()
+				if now < last {
+					ok = false
+				}
+				last = now
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any pair of rate segments, elapsed virtual time equals the
+// piecewise integral.
+func TestPropertyDynamicIntegral(t *testing.T) {
+	f := func(r1, r2 uint8, d1, d2 uint8) bool {
+		rate1 := float64(r1%30+1) / 10
+		rate2 := float64(r2%30+1) / 10
+		phys1 := simcore.Duration(d1%100+1) * simcore.Millisecond
+		phys2 := simcore.Duration(d2%100+1) * simcore.Millisecond
+		eng := simcore.NewEngine(3)
+		c := NewDynamicClock(eng, rate1)
+		ok := true
+		eng.Spawn("p", func(p *simcore.Proc) {
+			p.Sleep(phys1)
+			c.SetRate(rate2)
+			p.Sleep(phys2)
+			want := float64(phys1)*rate1 + float64(phys2)*rate2
+			got := float64(c.Gettimeofday())
+			if math.Abs(got-want) > 2 { // nanosecond rounding
+				ok = false
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package workqueue implements an adaptive self-scheduling master/worker
+// application — the class of "flexible and adaptive" Grid software whose
+// study motivates the MicroGrid (paper §1: Internet/Grid environments
+// "exhibit extreme heterogeneity of configuration, performance, and
+// reliability. Consequently, software must be flexible and adaptive").
+//
+// The master farms independent work units to workers over MPI. Two
+// scheduling policies are provided:
+//
+//   - Static: the work is pre-partitioned equally — fast on homogeneous
+//     grids, poor when workers differ in speed.
+//   - SelfScheduling: workers pull chunks on demand (guided
+//     self-scheduling with shrinking chunks), adapting automatically to
+//     heterogeneous or contended processors.
+//
+// Comparing the two policies on a heterogeneous virtual grid is exactly
+// the kind of experiment the MicroGrid is for.
+package workqueue
+
+import (
+	"fmt"
+
+	"microgrid/internal/mpi"
+)
+
+// Policy selects the scheduling strategy.
+type Policy int
+
+const (
+	// Static pre-partitions the units equally across workers.
+	Static Policy = iota
+	// SelfScheduling lets workers pull work chunks on demand.
+	SelfScheduling
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case SelfScheduling:
+		return "self-scheduling"
+	}
+	return "?"
+}
+
+// Config describes the farmed computation.
+type Config struct {
+	// Units is the number of independent work units.
+	Units int
+	// OpsPerUnit is each unit's cost on the virtual CPU.
+	OpsPerUnit float64
+	// Policy selects the scheduler.
+	Policy Policy
+	// MinChunk floors the self-scheduler's shrinking chunk size
+	// (default 1).
+	MinChunk int
+	// ResultBytes is the per-unit result payload returned to the master
+	// (default 64).
+	ResultBytes int
+}
+
+// Result summarizes a run from the master's perspective.
+type Result struct {
+	// UnitsDone must equal Config.Units.
+	UnitsDone int
+	// PerWorker counts units executed by each rank (index 0 = master,
+	// always 0).
+	PerWorker []int
+}
+
+// Message tags.
+const (
+	tagRequest = 11 // worker → master: give me work
+	tagAssign  = 12 // master → worker: [first, count]; count 0 = done
+	tagResult  = 13 // worker → master: completed chunk
+)
+
+// assignment is the master's work grant.
+type assignment struct {
+	first, count int
+}
+
+// report is the worker's completion message.
+type report struct {
+	worker, count int
+}
+
+// Run executes the farmed computation over the communicator. Rank 0 is
+// the master (it schedules and collects; it does no unit work). Every
+// rank returns; only rank 0's Result is meaningful.
+func Run(c *mpi.Comm, cfg Config) (*Result, error) {
+	if c.Size() < 2 {
+		return nil, fmt.Errorf("workqueue: need at least one worker (size %d)", c.Size())
+	}
+	if cfg.Units <= 0 || cfg.OpsPerUnit <= 0 {
+		return nil, fmt.Errorf("workqueue: need positive units and ops")
+	}
+	if cfg.MinChunk <= 0 {
+		cfg.MinChunk = 1
+	}
+	if cfg.ResultBytes <= 0 {
+		cfg.ResultBytes = 64
+	}
+	if c.Rank() == 0 {
+		return runMaster(c, cfg)
+	}
+	return nil, runWorker(c, cfg)
+}
+
+func runMaster(c *mpi.Comm, cfg Config) (*Result, error) {
+	res := &Result{PerWorker: make([]int, c.Size())}
+	workers := c.Size() - 1
+	switch cfg.Policy {
+	case Static:
+		// Pre-partition and hand each worker its whole share up front.
+		next := 0
+		for w := 1; w <= workers; w++ {
+			share := cfg.Units / workers
+			if w <= cfg.Units%workers {
+				share++
+			}
+			if err := c.Send(w, tagAssign, 16, &assignment{first: next, count: share}); err != nil {
+				return nil, err
+			}
+			next += share
+		}
+	case SelfScheduling:
+		// Guided self-scheduling: grant remaining/(2·workers), shrinking
+		// toward MinChunk, to whoever asks.
+		remaining := cfg.Units
+		next := 0
+		active := workers
+		for active > 0 {
+			_, st, err := c.Recv(mpi.AnySource, tagRequest)
+			if err != nil {
+				return nil, err
+			}
+			chunk := remaining / (2 * workers)
+			if chunk < cfg.MinChunk {
+				chunk = cfg.MinChunk
+			}
+			if chunk > remaining {
+				chunk = remaining
+			}
+			if err := c.Send(st.Source, tagAssign, 16, &assignment{first: next, count: chunk}); err != nil {
+				return nil, err
+			}
+			next += chunk
+			remaining -= chunk
+			if chunk == 0 {
+				active--
+			}
+		}
+	default:
+		return nil, fmt.Errorf("workqueue: unknown policy %v", cfg.Policy)
+	}
+	// Collect completion reports until every unit is accounted for.
+	for res.UnitsDone < cfg.Units {
+		data, _, err := c.Recv(mpi.AnySource, tagResult)
+		if err != nil {
+			return nil, err
+		}
+		r := data.(*report)
+		res.UnitsDone += r.count
+		res.PerWorker[r.worker] += r.count
+	}
+	// Static workers exit on their own; self-scheduling workers were
+	// dismissed with zero grants above.
+	return res, nil
+}
+
+func runWorker(c *mpi.Comm, cfg Config) error {
+	switch cfg.Policy {
+	case Static:
+		data, _, err := c.Recv(0, tagAssign)
+		if err != nil {
+			return err
+		}
+		a := data.(*assignment)
+		if a.count == 0 {
+			return nil
+		}
+		c.Proc().Compute(float64(a.count) * cfg.OpsPerUnit)
+		return c.Send(0, tagResult, cfg.ResultBytes*a.count,
+			&report{worker: c.Rank(), count: a.count})
+	case SelfScheduling:
+		for {
+			if err := c.Send(0, tagRequest, 8, nil); err != nil {
+				return err
+			}
+			data, _, err := c.Recv(0, tagAssign)
+			if err != nil {
+				return err
+			}
+			a := data.(*assignment)
+			if a.count == 0 {
+				return nil
+			}
+			c.Proc().Compute(float64(a.count) * cfg.OpsPerUnit)
+			if err := c.Send(0, tagResult, cfg.ResultBytes*a.count,
+				&report{worker: c.Rank(), count: a.count}); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("workqueue: unknown policy %v", cfg.Policy)
+}

@@ -1,0 +1,99 @@
+// Package microgrid is the public API of the MicroGrid reproduction: a
+// set of simulation tools that let Grid applications run on arbitrary
+// *virtual* Grid resources, after "The MicroGrid: a Scientific Tool for
+// Modeling Computational Grids" (Song, Liu, Jakobsen, Bhagwan, Zhang,
+// Taura, Chien — SC2000).
+//
+// The package re-exports the assembled system from internal/core plus the
+// building blocks an application author needs: build a MicroGrid for a
+// target machine configuration (optionally emulated on different physical
+// hardware at a chosen simulation rate), then run an MPI-style application
+// through the virtualized Globus stack and read back virtual-time results.
+//
+//	m, err := microgrid.Build(microgrid.BuildConfig{
+//		Target: microgrid.AlphaCluster,
+//	})
+//	report, err := m.RunApp("hello", func(ctx *microgrid.AppContext) error {
+//		ctx.Proc.ComputeVirtualSeconds(1)
+//		return ctx.Comm.Barrier()
+//	}, microgrid.RunOptions{})
+//
+// Every table and figure of the paper's evaluation is available as an
+// experiment; see Experiments and the cmd/mgrid tool.
+package microgrid
+
+import (
+	"microgrid/internal/core"
+	"microgrid/internal/npb"
+	"microgrid/internal/simcore"
+)
+
+// Core system types.
+type (
+	// MicroGrid is an assembled virtual grid plus its GIS and Globus stack.
+	MicroGrid = core.MicroGrid
+	// BuildConfig configures Build.
+	BuildConfig = core.BuildConfig
+	// MachineConfig describes a (virtual or physical) machine platform.
+	MachineConfig = core.MachineConfig
+	// AppContext is what application functions receive on each rank.
+	AppContext = core.AppContext
+	// RunOptions tunes RunApp.
+	RunOptions = core.RunOptions
+	// Report is the outcome of a run.
+	Report = core.Report
+	// Experiment is a reproduced paper table/figure.
+	Experiment = core.Experiment
+	// ExperimentFunc runs one experiment.
+	ExperimentFunc = core.ExperimentFunc
+	// Time and Duration are simulated-time types.
+	Time = simcore.Time
+	// Duration is a span of simulated time.
+	Duration = simcore.Duration
+	// NPBClass selects a NAS Parallel Benchmark problem size.
+	NPBClass = npb.Class
+)
+
+// Build assembles a MicroGrid.
+func Build(cfg BuildConfig) (*MicroGrid, error) { return core.Build(cfg) }
+
+// The paper's Fig. 9 machine configurations.
+var (
+	// AlphaCluster is 4× 533 MHz DEC 21164 on 100 Mb Ethernet.
+	AlphaCluster = core.AlphaCluster
+	// HPVM is 4× 300 MHz Pentium II on 1.2 Gb Myrinet.
+	HPVM = core.HPVM
+)
+
+// NPB problem classes.
+const (
+	NPBClassS = npb.ClassS
+	NPBClassW = npb.ClassW
+	NPBClassA = npb.ClassA
+	NPBClassB = npb.ClassB
+)
+
+// NPBNames lists the implemented NAS Parallel Benchmarks in figure order.
+func NPBNames() []string { return npb.Names() }
+
+// Experiments returns every paper experiment in figure order.
+func Experiments() []struct {
+	ID string
+	Fn ExperimentFunc
+} {
+	src := core.Experiments()
+	out := make([]struct {
+		ID string
+		Fn ExperimentFunc
+	}, len(src))
+	for i, e := range src {
+		out[i] = struct {
+			ID string
+			Fn ExperimentFunc
+		}{e.ID, e.Fn}
+	}
+	return out
+}
+
+// GetExperiment finds an experiment by figure id ("fig05" ... "fig17").
+func GetExperiment(id string) (ExperimentFunc, error) { return core.GetExperiment(id) }

@@ -1,0 +1,76 @@
+package microgrid
+
+import (
+	"microgrid/internal/cactus"
+	"microgrid/internal/npb"
+	"microgrid/internal/topology"
+	"microgrid/internal/workqueue"
+)
+
+// TopoSpec describes a custom network topology for BuildConfig.Topo.
+type TopoSpec = topology.Spec
+
+// NPBHooks observes NPB kernel progress (Autopilot integration).
+type NPBHooks = npb.Hooks
+
+// RunNPB executes a NAS Parallel Benchmark kernel ("EP", "BT", "LU",
+// "MG", "IS") on the rank's communicator. Use it inside a RunApp function:
+//
+//	m.RunApp("mg.A.4", func(ctx *microgrid.AppContext) error {
+//		return microgrid.RunNPB(ctx, "MG", microgrid.NPBClassA, nil)
+//	}, microgrid.RunOptions{})
+func RunNPB(ctx *AppContext, bench string, class NPBClass, hooks *NPBHooks) error {
+	fn, err := npb.Get(bench)
+	if err != nil {
+		return err
+	}
+	return fn(ctx.Comm, npb.Params{Class: class, Hooks: hooks})
+}
+
+// WaveToyParams configures the CACTUS WaveToy application.
+type WaveToyParams = cactus.Params
+
+// RunWaveToy executes the CACTUS WaveToy PDE solver on the rank's
+// communicator.
+func RunWaveToy(ctx *AppContext, p WaveToyParams) error {
+	return cactus.RunWaveToy(ctx.Comm, p)
+}
+
+// ParseWaveToyParFile parses a Cactus-style parameter file into WaveToy
+// parameters (plus unrecognized thorn parameters).
+var ParseWaveToyParFile = cactus.ParseParFile
+
+// VBNSSpec builds the paper's fictional vBNS wide-area testbed topology
+// (Fig. 13): two campus LANs joined across OC3 access links and a varied
+// backbone bottleneck. Hosts are named ucsd0..N-1 and uiuc0..N-1.
+func VBNSSpec(hostsPerSite int, bottleneckBps float64) (*TopoSpec, error) {
+	return topology.VBNSSpec(topology.VBNSConfig{
+		HostsPerSite:  hostsPerSite,
+		BottleneckBps: bottleneckBps,
+	})
+}
+
+// OC bandwidths for wide-area configurations.
+const (
+	OC3Bps  = topology.OC3Bps
+	OC12Bps = topology.OC12Bps
+)
+
+// WorkQueueConfig configures the adaptive master/worker workload.
+type WorkQueueConfig = workqueue.Config
+
+// WorkQueueResult summarizes a master/worker run.
+type WorkQueueResult = workqueue.Result
+
+// Work-queue scheduling policies.
+const (
+	WorkQueueStatic         = workqueue.Static
+	WorkQueueSelfScheduling = workqueue.SelfScheduling
+)
+
+// RunWorkQueue executes the adaptive master/worker farm on the rank's
+// communicator (rank 0 is the master). Only rank 0 receives a non-nil
+// result.
+func RunWorkQueue(ctx *AppContext, cfg WorkQueueConfig) (*WorkQueueResult, error) {
+	return workqueue.Run(ctx.Comm, cfg)
+}
