@@ -4,27 +4,40 @@
 // Usage:
 //
 //	mgrid -list
-//	mgrid -experiment fig10            # full (paper-scale) run
-//	mgrid -experiment fig10 -quick     # reduced problem sizes
-//	mgrid -all -quick
+//	mgrid -experiment fig10              # full (paper-scale) run
+//	mgrid -experiment fig10 -quick       # reduced problem sizes
+//	mgrid -all -quick -j 8               # whole campaign, 8 workers
+//	mgrid -all -quick -out results/      # + campaign.json, timings.csv
+//
+// Experiments run on a bounded worker pool (-j), each in its own
+// isolated simulation engine, with an optional per-experiment wall-clock
+// timeout (-timeout) and one retry on failure. Tables and metrics on
+// stdout are deterministic — byte-identical for any -j — and always in
+// paper order; progress lines with wall-clock times go to stderr. With
+// -all, a failing experiment no longer aborts the run: every experiment
+// executes, failures are summarized at the end, and the exit status is
+// nonzero if any failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"microgrid"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		expID = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced problem sizes for fast runs")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of text")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced problem sizes for fast runs")
+		csv     = flag.Bool("csv", false, "emit tables as CSV instead of text")
+		jobs    = flag.Int("j", 1, "number of experiments to run concurrently")
+		timeout = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+		outDir  = flag.String("out", "", "directory for campaign.json and timings.csv artifacts")
 	)
 	flag.Parse()
 
@@ -36,47 +49,74 @@ func main() {
 		return
 	}
 
-	run := func(id string, fn microgrid.ExperimentFunc) error {
-		start := time.Now()
-		exp, err := fn(*quick)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		if *csv {
-			fmt.Printf("# %s — %s\n", exp.ID, exp.Title)
-			fmt.Print(exp.Table.CSV())
-			fmt.Println()
-			return nil
-		}
-		fmt.Printf("=== %s — %s (wall %.1fs)\n", exp.ID, exp.Title, time.Since(start).Seconds())
-		fmt.Print(exp.Table.String())
-		for _, n := range exp.Notes {
-			fmt.Printf("  note: %s\n", n)
-		}
-		fmt.Println()
-		return nil
-	}
-
+	var tasks []microgrid.CampaignTask
 	switch {
 	case *all:
-		for _, e := range microgrid.Experiments() {
-			if err := run(e.ID, e.Fn); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
-		}
+		tasks = microgrid.Campaign(*quick)
 	case *expID != "":
 		fn, err := microgrid.GetExperiment(*expID)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		if err := run(*expID, fn); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+		q := *quick
+		tasks = []microgrid.CampaignTask{{
+			ID: *expID,
+			Run: func(ctx context.Context) (*microgrid.Experiment, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return fn(q)
+			},
+		}}
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	results := microgrid.RunCampaign(context.Background(), tasks, microgrid.CampaignOptions{
+		Workers: *jobs,
+		Timeout: *timeout,
+		OnResult: func(r microgrid.CampaignResult) {
+			fmt.Fprintf(os.Stderr, "[%s] %s (wall %.1fs, attempts %d)\n",
+				r.Status, r.ID, r.Wall.Seconds(), r.Attempts)
+		},
+	})
+
+	// Deterministic report: paper order, no wall-clock times.
+	var failed []microgrid.CampaignResult
+	for _, r := range results {
+		if r.Status != microgrid.CampaignOK {
+			failed = append(failed, r)
+			continue
+		}
+		exp := r.Experiment
+		if *csv {
+			fmt.Printf("# %s — %s\n", exp.ID, exp.Title)
+			fmt.Print(exp.Table.CSV())
+			fmt.Println()
+			continue
+		}
+		fmt.Printf("=== %s — %s\n", exp.ID, exp.Title)
+		fmt.Print(exp.Table.String())
+		for _, n := range exp.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+	}
+
+	if *outDir != "" {
+		if err := microgrid.WriteCampaignArtifacts(*outDir, results, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "error writing artifacts:", err)
+			os.Exit(1)
+		}
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d experiments failed:\n", len(failed), len(results))
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "  %s [%s]: %v\n", r.ID, r.Status, r.Err)
+		}
+		os.Exit(1)
 	}
 }

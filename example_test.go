@@ -1,6 +1,7 @@
 package microgrid_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -54,6 +55,18 @@ func ExampleBuild_emulated() {
 		report.VirtualElapsed.Seconds(),
 		report.PhysicalElapsed.Seconds()/report.VirtualElapsed.Seconds())
 	// Output: virtual 1.0s, emulation wallclock ≈2x longer
+}
+
+// The campaign runner executes experiments on a worker pool, each in
+// its own isolated engine. Tables and metrics are deterministic for any
+// worker count; only wall-clock timings vary.
+func ExampleRunCampaign() {
+	tasks := microgrid.Campaign(true)[:1] // fig05 at quick scale
+	results := microgrid.RunCampaign(context.Background(), tasks,
+		microgrid.CampaignOptions{Workers: 4})
+	r := results[0]
+	fmt.Printf("%s %s slope=%.3f\n", r.ID, r.Status, r.Experiment.Metrics["slope"])
+	// Output: fig05 ok slope=1.000
 }
 
 // Grids can be defined entirely by GIS records (the paper's Fig. 3

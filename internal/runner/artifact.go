@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TableArtifact is a rendered experiment table in machine-readable form.
+type TableArtifact struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// ExperimentArtifact is one experiment's outcome in campaign.json.
+type ExperimentArtifact struct {
+	ID      string             `json:"id"`
+	Status  Status             `json:"status"`
+	Title   string             `json:"title,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	Table   *TableArtifact     `json:"table,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
+// CampaignArtifact is the campaign.json document: everything a run
+// produced except wall-clock timing (which timings.csv carries), so two
+// runs of the same campaign — at any worker count — encode to identical
+// bytes. This is the file CI diffs as its determinism gate.
+type CampaignArtifact struct {
+	Quick       bool                 `json:"quick,omitempty"`
+	Experiments []ExperimentArtifact `json:"experiments"`
+}
+
+// NewCampaignArtifact assembles the deterministic artifact from results
+// (kept in task order).
+func NewCampaignArtifact(results []Result, quick bool) *CampaignArtifact {
+	art := &CampaignArtifact{Quick: quick}
+	for _, r := range results {
+		ea := ExperimentArtifact{ID: r.ID, Status: r.Status}
+		if r.Err != nil {
+			ea.Error = r.Err.Error()
+		}
+		if exp := r.Experiment; exp != nil {
+			ea.Title = exp.Title
+			ea.Metrics = exp.Metrics
+			ea.Notes = exp.Notes
+			if exp.Table != nil {
+				ea.Table = &TableArtifact{
+					Title:   exp.Table.Title,
+					Headers: exp.Table.Headers,
+					Rows:    exp.Table.Rows,
+				}
+			}
+		}
+		art.Experiments = append(art.Experiments, ea)
+	}
+	return art
+}
+
+// CampaignJSON encodes the deterministic campaign artifact. Map keys are
+// sorted by encoding/json, so equal results give byte-equal output.
+func CampaignJSON(results []Result, quick bool) ([]byte, error) {
+	b, err := json.MarshalIndent(NewCampaignArtifact(results, quick), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// TimingsCSV renders the per-experiment operational record — status,
+// attempts, wall seconds — in task order. Unlike campaign.json its bytes
+// vary run to run; it exists for dashboards and regression tracking.
+func TimingsCSV(results []Result) []byte {
+	var sb strings.Builder
+	sb.WriteString("id,status,attempts,wall_seconds\n")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%s,%s,%d,%.3f\n", r.ID, r.Status, r.Attempts, r.Wall.Seconds())
+	}
+	return []byte(sb.String())
+}
+
+// WriteArtifacts writes campaign.json and timings.csv into dir, creating
+// it if needed.
+func WriteArtifacts(dir string, results []Result, quick bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cj, err := CampaignJSON(results, quick)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "campaign.json"), cj, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "timings.csv"), TimingsCSV(results), 0o644)
+}

@@ -23,8 +23,11 @@
 package microgrid
 
 import (
+	"context"
+
 	"microgrid/internal/core"
 	"microgrid/internal/npb"
+	"microgrid/internal/runner"
 	"microgrid/internal/simcore"
 )
 
@@ -97,3 +100,41 @@ func Experiments() []struct {
 
 // GetExperiment finds an experiment by figure id ("fig05" ... "fig17").
 func GetExperiment(id string) (ExperimentFunc, error) { return core.GetExperiment(id) }
+
+// Campaign runner types. The runner executes many experiments on a
+// bounded worker pool — each in its own isolated engine — with
+// per-experiment timeouts, one retry on failure, and machine-readable
+// artifacts. Results are deterministic: any worker count produces the
+// same tables and metrics.
+type (
+	// CampaignTask is one unit of campaign work.
+	CampaignTask = runner.Task
+	// CampaignResult is the outcome of one task.
+	CampaignResult = runner.Result
+	// CampaignOptions tune RunCampaign.
+	CampaignOptions = runner.Options
+	// CampaignStatus classifies a result.
+	CampaignStatus = runner.Status
+)
+
+// Campaign result statuses.
+const (
+	CampaignOK      = runner.StatusOK
+	CampaignFailed  = runner.StatusFailed
+	CampaignTimeout = runner.StatusTimeout
+)
+
+// Campaign returns one task per registered experiment, in paper order.
+func Campaign(quick bool) []CampaignTask { return runner.Campaign(quick) }
+
+// RunCampaign executes tasks on opts.Workers goroutines, returning one
+// result per task in task order. Failures never abort the campaign.
+func RunCampaign(ctx context.Context, tasks []CampaignTask, opts CampaignOptions) []CampaignResult {
+	return runner.Run(ctx, tasks, opts)
+}
+
+// WriteCampaignArtifacts writes campaign.json (deterministic results)
+// and timings.csv (operational record) into dir.
+func WriteCampaignArtifacts(dir string, results []CampaignResult, quick bool) error {
+	return runner.WriteArtifacts(dir, results, quick)
+}

@@ -1,8 +1,11 @@
 package microgrid
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -101,6 +104,36 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	}
 	if _, err := GetExperiment("fig16"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicCampaignAPI drives the campaign runner through the public
+// surface: registry-backed tasks mixed with a synthetic failure, results
+// in task order, artifacts on disk.
+func TestPublicCampaignAPI(t *testing.T) {
+	tasks := Campaign(true)
+	if len(tasks) != 12 || tasks[0].ID != "fig05" {
+		t.Fatalf("campaign = %d tasks, first %q", len(tasks), tasks[0].ID)
+	}
+	boom := CampaignTask{ID: "boom", Run: func(ctx context.Context) (*Experiment, error) {
+		return nil, fmt.Errorf("kaput")
+	}}
+	results := RunCampaign(context.Background(),
+		[]CampaignTask{tasks[0], boom}, CampaignOptions{Workers: 2, Retries: -1})
+	if results[0].Status != CampaignOK || results[0].Experiment.ID != "fig05" {
+		t.Fatalf("fig05 result = %+v", results[0])
+	}
+	if results[1].Status != CampaignFailed || results[1].Err == nil {
+		t.Fatalf("boom result = %+v", results[1])
+	}
+	dir := t.TempDir()
+	if err := WriteCampaignArtifacts(dir, results, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"campaign.json", "timings.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact: %v", err)
+		}
 	}
 }
 
