@@ -8,6 +8,7 @@
 //	mgrid -experiment fig10 -quick       # reduced problem sizes
 //	mgrid -all -quick -j 8               # whole campaign, 8 workers
 //	mgrid -all -quick -out results/      # + campaign.json, timings.csv
+//	mgrid -run 'chaos-*' -quick -j 4     # glob-selected sub-campaign
 //
 // Experiments run on a bounded worker pool (-j), each in its own
 // isolated simulation engine, with an optional per-experiment wall-clock
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
 
 	"microgrid"
 )
@@ -33,6 +35,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		expID   = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
 		all     = flag.Bool("all", false, "run every experiment")
+		runGlob = flag.String("run", "", "run experiments whose id matches this glob (e.g. 'chaos-*')")
 		quick   = flag.Bool("quick", false, "reduced problem sizes for fast runs")
 		csv     = flag.Bool("csv", false, "emit tables as CSV instead of text")
 		jobs    = flag.Int("j", 1, "number of experiments to run concurrently")
@@ -53,6 +56,21 @@ func main() {
 	switch {
 	case *all:
 		tasks = microgrid.Campaign(*quick)
+	case *runGlob != "":
+		for _, t := range microgrid.Campaign(*quick) {
+			ok, err := path.Match(*runGlob, t.ID)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error: bad -run pattern:", err)
+				os.Exit(1)
+			}
+			if ok {
+				tasks = append(tasks, t)
+			}
+		}
+		if len(tasks) == 0 {
+			fmt.Fprintf(os.Stderr, "error: -run %q matches no experiments\n", *runGlob)
+			os.Exit(1)
+		}
 	case *expID != "":
 		fn, err := microgrid.GetExperiment(*expID)
 		if err != nil {

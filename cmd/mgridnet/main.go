@@ -1,11 +1,14 @@
 // Command mgridnet probes simulated network topologies: it loads a
 // topology file (or the built-in vBNS testbed), reports routed paths, and
-// runs a ping/throughput probe between two hosts.
+// runs a ping/throughput probe between two hosts. A chaos schedule can be
+// replayed against the topology while the probe runs (or on its own),
+// printing the resulting link-state timeline.
 //
 // Usage:
 //
 //	mgridnet -vbns -from ucsd0 -to uiuc0
 //	mgridnet -topo testbed.txt -from a -to b -bytes 1048576
+//	mgridnet -vbns -chaos faults.txt
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"microgrid/internal/chaos"
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
@@ -26,6 +30,7 @@ func main() {
 		from     = flag.String("from", "", "source host")
 		to       = flag.String("to", "", "destination host")
 		bytes    = flag.Int("bytes", 1<<20, "transfer size for the throughput probe")
+		chaosF   = flag.String("chaos", "", "chaos schedule file to replay against the topology")
 	)
 	flag.Parse()
 
@@ -66,7 +71,47 @@ func main() {
 		fmt.Printf("  %-14s %-7s %s\n", n.Name, kind, n.Addr)
 	}
 
+	// Optional fault replay: armed now, fired while the engine runs (with
+	// the probe, if one was requested).
+	var inj *chaos.Injector
+	if *chaosF != "" {
+		s, err := chaos.LoadSchedule(*chaosF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		inj = chaos.NewInjector(eng, nw, nil)
+		if err := inj.Arm(s); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	reportChaos := func() {
+		if inj == nil {
+			return
+		}
+		fmt.Println("\nchaos timeline:")
+		fmt.Print(chaos.FormatTimeline(inj.Timeline()))
+		fmt.Println("\nfinal link states:")
+		for _, l := range nw.Links() {
+			state := "up"
+			if l.Down() {
+				state = "down"
+			} else if l.Degraded() {
+				state = "degraded"
+			}
+			fmt.Printf("  %-14s -- %-14s %s\n", l.A.Name, l.B.Name, state)
+		}
+	}
+
 	if *from == "" || *to == "" {
+		if inj != nil {
+			if err := eng.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, "simulation:", err)
+				os.Exit(1)
+			}
+			reportChaos()
+		}
 		return
 	}
 	src, dst := nw.Node(*from), nw.Node(*to)
@@ -114,6 +159,7 @@ func main() {
 		os.Exit(1)
 	}
 	if done == 0 {
+		reportChaos() // the faults are usually why the probe died
 		fmt.Fprintln(os.Stderr, "probe failed")
 		os.Exit(1)
 	}
@@ -131,4 +177,5 @@ func main() {
 				d.From, d.To, d.Sent, d.BytesSent, 100*d.Utilization)
 		}
 	}
+	reportChaos()
 }

@@ -1,0 +1,205 @@
+// Package chaos is the MicroGrid's deterministic fault-injection
+// subsystem. The paper's motivation (§1) is that Grid environments
+// "exhibit extreme heterogeneity of configuration, performance, and
+// reliability" — studying middleware and adaptive applications therefore
+// requires reproducing not just topology and load but *failure*: hosts
+// that crash and reboot, links that go down or flap, bandwidth and
+// latency that degrade, packet-loss bursts, competing CPU load, and
+// memory pressure.
+//
+// A Schedule is an ordered list of fault events, built programmatically
+// or parsed from a small text format mirroring internal/topology's
+// config style. An Injector arms a schedule against a simulation: every
+// event becomes an engine event at its (optionally jittered) time, with
+// all jitter drawn from the engine's seeded RNG — so one seed plus one
+// schedule yields byte-identical campaigns at any worker count.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microgrid/internal/simcore"
+)
+
+// Kind enumerates the fault types.
+type Kind int
+
+const (
+	// HostCrash fail-stops a host (Host names it); For>0 reboots it after
+	// that long.
+	HostCrash Kind = iota
+	// LinkDown takes the A–B link down; For>0 restores it after that long.
+	LinkDown
+	// LinkFlap cycles the A–B link down/up Count times (Down and Up are
+	// the phase durations).
+	LinkFlap
+	// LinkDegrade scales the A–B link's bandwidth and delay and sets its
+	// loss probability; For>0 restores the original settings after.
+	LinkDegrade
+	// CPULoad starts a competing compute-bound process on Host's physical
+	// machine; For>0 stops it after that long.
+	CPULoad
+	// MemPressure allocates Bytes of Host's memory; For>0 frees it after.
+	MemPressure
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HostCrash:
+		return "crash"
+	case LinkDown:
+		return "linkdown"
+	case LinkFlap:
+		return "flap"
+	case LinkDegrade:
+		return "degrade"
+	case CPULoad:
+		return "cpuload"
+	case MemPressure:
+		return "memhog"
+	}
+	return "?"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the nominal injection time (virtual/engine time from run
+	// start).
+	At simcore.Time
+	// Kind selects the fault.
+	Kind Kind
+	// Host targets host faults (HostCrash, CPULoad, MemPressure).
+	Host string
+	// A, B name the link endpoints for link faults.
+	A, B string
+	// For bounds the fault's duration where meaningful (0 = permanent).
+	For simcore.Duration
+	// Jitter, if nonzero, perturbs At by a uniform ±Jitter draw from the
+	// engine RNG at arm time (deterministic per seed).
+	Jitter simcore.Duration
+	// Down, Up, Count parameterize LinkFlap.
+	Down, Up simcore.Duration
+	Count    int
+	// BWFactor and DelayFactor scale a degraded link's bandwidth and
+	// delay (0 = leave unchanged); Loss sets its loss probability
+	// (negative = leave unchanged).
+	BWFactor, DelayFactor float64
+	Loss                  float64
+	// Bytes sizes MemPressure.
+	Bytes int64
+}
+
+// String renders the event in the schedule text format.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "at %s %s", simcore.Duration(e.At), e.Kind)
+	switch e.Kind {
+	case HostCrash, CPULoad:
+		fmt.Fprintf(&b, " %s", e.Host)
+	case MemPressure:
+		fmt.Fprintf(&b, " %s %d", e.Host, e.Bytes)
+	case LinkDown:
+		fmt.Fprintf(&b, " %s %s", e.A, e.B)
+	case LinkFlap:
+		fmt.Fprintf(&b, " %s %s down=%s up=%s count=%d", e.A, e.B, e.Down, e.Up, e.Count)
+	case LinkDegrade:
+		fmt.Fprintf(&b, " %s %s", e.A, e.B)
+		if e.BWFactor > 0 {
+			fmt.Fprintf(&b, " bw=%g", e.BWFactor)
+		}
+		if e.DelayFactor > 0 {
+			fmt.Fprintf(&b, " delay=%g", e.DelayFactor)
+		}
+		if e.Loss >= 0 {
+			fmt.Fprintf(&b, " loss=%g", e.Loss)
+		}
+	}
+	if e.For > 0 {
+		fmt.Fprintf(&b, " for=%s", e.For)
+	}
+	if e.Jitter > 0 {
+		fmt.Fprintf(&b, " jitter=%s", e.Jitter)
+	}
+	return b.String()
+}
+
+// Validate checks structural sanity (targets existing is checked at arm
+// time, when the simulation is known).
+func (e Event) Validate() error {
+	if e.At < 0 {
+		return fmt.Errorf("chaos: negative event time %v", e.At)
+	}
+	switch e.Kind {
+	case HostCrash, CPULoad:
+		if e.Host == "" {
+			return fmt.Errorf("chaos: %s needs a host", e.Kind)
+		}
+	case MemPressure:
+		if e.Host == "" {
+			return fmt.Errorf("chaos: %s needs a host", e.Kind)
+		}
+		if e.Bytes <= 0 {
+			return fmt.Errorf("chaos: %s needs positive bytes", e.Kind)
+		}
+	case LinkDown:
+		if e.A == "" || e.B == "" {
+			return fmt.Errorf("chaos: %s needs two endpoints", e.Kind)
+		}
+	case LinkFlap:
+		if e.A == "" || e.B == "" {
+			return fmt.Errorf("chaos: %s needs two endpoints", e.Kind)
+		}
+		if e.Down <= 0 || e.Up <= 0 || e.Count <= 0 {
+			return fmt.Errorf("chaos: %s needs positive down, up and count", e.Kind)
+		}
+	case LinkDegrade:
+		if e.A == "" || e.B == "" {
+			return fmt.Errorf("chaos: %s needs two endpoints", e.Kind)
+		}
+		if e.BWFactor == 0 && e.DelayFactor == 0 && e.Loss < 0 {
+			return fmt.Errorf("chaos: %s changes nothing", e.Kind)
+		}
+		if e.BWFactor < 0 || e.DelayFactor < 0 || e.Loss > 1 {
+			return fmt.Errorf("chaos: %s has out-of-range factors", e.Kind)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Schedule is a named, ordered fault plan.
+type Schedule struct {
+	Name   string
+	Events []Event
+}
+
+// Validate checks every event and that events are time-sorted.
+func (s *Schedule) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: schedule has no name")
+	}
+	for i, e := range s.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	if !sort.SliceIsSorted(s.Events, func(i, j int) bool {
+		return s.Events[i].At < s.Events[j].At
+	}) {
+		return fmt.Errorf("chaos: schedule %q events are not time-sorted", s.Name)
+	}
+	return nil
+}
+
+// String renders the schedule in the parseable text format.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule %s\n", s.Name)
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return b.String()
+}

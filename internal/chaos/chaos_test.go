@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"microgrid/internal/simcore"
+	"microgrid/internal/virtual"
+)
+
+const sampleSchedule = `# fault plan
+schedule demo
+at 500ms crash vm2 for=2s jitter=50ms
+at 1s linkdown vm0 vm1 for=200ms
+at 1.5s flap vm0 vm1 down=100ms up=400ms count=3
+at 2s degrade vm0 vm1 bw=0.5 delay=2 loss=0.01 for=1s
+at 3s cpuload vm1 for=5s
+at 4s memhog vm3 64MB for=1s
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	s, err := ParseScheduleString(sampleSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.Events) != 6 {
+		t.Fatalf("parsed %q with %d events", s.Name, len(s.Events))
+	}
+	if e := s.Events[0]; e.Kind != HostCrash || e.Host != "vm2" ||
+		e.At != simcore.Time(500*simcore.Millisecond) || e.For != 2*simcore.Second ||
+		e.Jitter != 50*simcore.Millisecond {
+		t.Errorf("crash event parsed wrong: %+v", e)
+	}
+	if e := s.Events[5]; e.Kind != MemPressure || e.Bytes != 64<<20 {
+		t.Errorf("memhog event parsed wrong: %+v", e)
+	}
+	s2, err := ParseScheduleString(s.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("round trip changed the schedule:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"at 1s crash vm0\n",                          // event before schedule line
+		"schedule x\nat 1s crash\n",                  // missing host
+		"schedule x\nat 1s explode vm0\n",            // unknown kind
+		"schedule x\nat 1s flap a b down=1s\n",       // flap missing up/count
+		"schedule x\nat huh crash vm0\n",             // bad time
+		"schedule x\nat 1s memhog vm0 lots\n",        // bad size
+		"schedule x\nat 1s crash vm0 grace=1s\n",     // unknown option
+		"schedule x\nat 1s degrade a b\n",            // degrade changes nothing
+		"schedule x\nat 2s crash a\nat 1s crash b\n", // unsorted
+	} {
+		if _, err := ParseScheduleString(bad); err == nil {
+			t.Errorf("accepted invalid schedule %q", bad)
+		}
+	}
+}
+
+// chaosGrid builds a small direct grid for injection tests.
+func chaosGrid(t *testing.T, eng *simcore.Engine, n int) *virtual.Grid {
+	t.Helper()
+	g, err := virtual.NewLANGrid(eng, "vm", n, 533, 533, 100e6, 25*simcore.Microsecond, 0, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestArmValidatesTargets(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g := chaosGrid(t, eng, 2)
+	in := NewInjector(eng, g.Network(), g)
+	bad := &Schedule{Name: "x", Events: []Event{{Kind: HostCrash, Host: "nope"}}}
+	if err := in.Arm(bad); err == nil {
+		t.Error("armed a schedule naming an unknown host")
+	}
+	badLink := &Schedule{Name: "x", Events: []Event{{Kind: LinkDown, A: "vm0", B: "vmX"}}}
+	if err := in.Arm(badLink); err == nil {
+		t.Error("armed a schedule naming an unknown link")
+	}
+	noGrid := NewInjector(eng, g.Network(), nil)
+	cpu := &Schedule{Name: "x", Events: []Event{{Kind: CPULoad, Host: "vm0"}}}
+	if err := noGrid.Arm(cpu); err == nil {
+		t.Error("armed a cpuload without a grid")
+	}
+}
+
+func TestCrashAndRebootInjection(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g := chaosGrid(t, eng, 2)
+	in := NewInjector(eng, g.Network(), g)
+	s, err := ParseScheduleString("schedule cr\nat 1s crash vm1 for=2s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Arm(s); err != nil {
+		t.Fatal(err)
+	}
+	h := g.Host("vm1")
+	var atCrash, atReboot bool
+	eng.At(simcore.Time(1500*simcore.Millisecond), func() { atCrash = h.Down() })
+	eng.At(simcore.Time(3500*simcore.Millisecond), func() { atReboot = !h.Down() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !atCrash || !atReboot {
+		t.Errorf("crash observed=%v rebooted=%v", atCrash, atReboot)
+	}
+	tl := FormatTimeline(in.Timeline())
+	if !strings.Contains(tl, "crash") || !strings.Contains(tl, "reboot") {
+		t.Errorf("timeline missing crash/reboot:\n%s", tl)
+	}
+}
+
+// A competing load on the physical CPU halves a fair-share compute rate.
+func TestCPULoadInjectionSlowdown(t *testing.T) {
+	elapsed := func(withLoad bool) simcore.Duration {
+		eng := simcore.NewEngine(1)
+		g := chaosGrid(t, eng, 2)
+		if withLoad {
+			in := NewInjector(eng, g.Network(), g)
+			// Bounded For: an unbounded competitor would keep the engine
+			// busy forever and Run would never drain.
+			s := &Schedule{Name: "load", Events: []Event{{Kind: CPULoad, Host: "vm1", For: 10 * simcore.Second}}}
+			if err := in.Arm(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var done simcore.Time
+		if _, err := g.Host("vm1").Spawn("work", func(p *virtual.Process) {
+			p.ComputeVirtualSeconds(2)
+			done = p.Gettimeofday()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return simcore.Duration(done)
+	}
+	base := elapsed(false)
+	loaded := elapsed(true)
+	ratio := float64(loaded) / float64(base)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("competing load slowdown = %.2f×, want ≈2×", ratio)
+	}
+}
+
+func TestMemPressureInjection(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g := chaosGrid(t, eng, 2)
+	h := g.Host("vm1")
+	free := h.Mem.Limit() - h.Mem.Used()
+	in := NewInjector(eng, g.Network(), g)
+	s := &Schedule{Name: "hog", Events: []Event{
+		{At: simcore.Time(simcore.Second), Kind: MemPressure, Host: "vm1", Bytes: free - 1024, For: simcore.Second},
+	}}
+	if err := in.Arm(s); err != nil {
+		t.Fatal(err)
+	}
+	var during, after int64
+	eng.At(simcore.Time(1500*simcore.Millisecond), func() { during = h.Mem.Used() })
+	eng.At(simcore.Time(2500*simcore.Millisecond), func() { after = h.Mem.Used() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if during < free-1024 {
+		t.Errorf("memory during pressure = %d, want ≥ %d", during, free-1024)
+	}
+	if after >= free-1024 {
+		t.Errorf("memory not released after for= window: %d", after)
+	}
+}
+
+// Identical seed and schedule produce byte-identical timelines; a
+// different seed moves the jittered events.
+func TestJitterDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		eng := simcore.NewEngine(seed)
+		g := chaosGrid(t, eng, 3)
+		in := NewInjector(eng, g.Network(), g)
+		s, err := ParseScheduleString(
+			"schedule j\nat 1s crash vm1 jitter=200ms\nat 2s flap vm0 lan-switch down=50ms up=100ms count=2 jitter=100ms\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return FormatTimeline(in.Timeline())
+	}
+	a, b, c := run(7), run(7), run(8)
+	if a != b {
+		t.Errorf("same seed, different timelines:\n%s\n---\n%s", a, b)
+	}
+	if a == c {
+		t.Error("different seeds produced identical jittered timelines")
+	}
+	if !strings.Contains(a, "flap") {
+		t.Errorf("flap phases missing from timeline:\n%s", a)
+	}
+}

@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"microgrid/internal/netsim"
+	"microgrid/internal/simcore"
+	"microgrid/internal/virtual"
+)
+
+// TimelineEntry records one action the injector took (or scheduled).
+type TimelineEntry struct {
+	At     simcore.Time
+	Action string
+	Target string
+	Detail string
+}
+
+func (t TimelineEntry) String() string {
+	s := fmt.Sprintf("%-14s %-10s %s", simcore.Duration(t.At), t.Action, t.Target)
+	if t.Detail != "" {
+		s += "  " + t.Detail
+	}
+	return s
+}
+
+// FormatTimeline renders entries one per line, time-sorted.
+func FormatTimeline(entries []TimelineEntry) string {
+	sorted := append([]TimelineEntry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	var b strings.Builder
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return b.String()
+}
+
+// Injector arms fault schedules against a simulation. Network faults
+// need only a netsim.Network; host faults (crash, cpuload, memhog) need
+// a virtual.Grid too.
+type Injector struct {
+	eng  *simcore.Engine
+	net  *netsim.Network
+	grid *virtual.Grid // optional
+
+	timeline []TimelineEntry
+}
+
+// NewInjector builds an injector. grid may be nil when the schedule
+// contains only link faults (e.g. replaying against a bare topology).
+func NewInjector(eng *simcore.Engine, net *netsim.Network, grid *virtual.Grid) *Injector {
+	return &Injector{eng: eng, net: net, grid: grid}
+}
+
+// Timeline returns what the injector has done so far, in the order it
+// happened.
+func (in *Injector) Timeline() []TimelineEntry { return in.timeline }
+
+func (in *Injector) record(at simcore.Time, action, target, detail string) {
+	in.timeline = append(in.timeline, TimelineEntry{At: at, Action: action, Target: target, Detail: detail})
+}
+
+// Arm validates every event against the simulation, resolves jitter
+// (one RNG draw per jittered event, in schedule order — deterministic
+// for a fixed engine seed), and schedules the injections. Call before
+// Engine.Run.
+func (in *Injector) Arm(s *Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for i, e := range s.Events {
+		if err := in.check(e); err != nil {
+			return fmt.Errorf("chaos: schedule %s event %d: %w", s.Name, i, err)
+		}
+	}
+	for _, e := range s.Events {
+		at := e.At
+		if e.Jitter > 0 {
+			at += simcore.Time(in.eng.Rand().Int63n(int64(2*e.Jitter))) - simcore.Time(e.Jitter)
+			if at < 0 {
+				at = 0
+			}
+		}
+		e := e
+		in.eng.At(at, func() { in.fire(e) })
+	}
+	return nil
+}
+
+// check verifies the event's targets exist in this simulation.
+func (in *Injector) check(e Event) error {
+	switch e.Kind {
+	case HostCrash, CPULoad, MemPressure:
+		if in.grid != nil {
+			if in.grid.Host(e.Host) == nil {
+				return fmt.Errorf("no virtual host %q", e.Host)
+			}
+		} else if e.Kind == HostCrash {
+			if in.net.Node(e.Host) == nil {
+				return fmt.Errorf("no node %q", e.Host)
+			}
+		} else {
+			return fmt.Errorf("%s needs a virtual grid", e.Kind)
+		}
+	case LinkDown, LinkFlap, LinkDegrade:
+		if in.net.FindLink(e.A, e.B) == nil {
+			return fmt.Errorf("no link %s–%s", e.A, e.B)
+		}
+	}
+	return nil
+}
+
+// fire applies one event at the current engine time.
+func (in *Injector) fire(e Event) {
+	now := in.eng.Now()
+	link := func() *netsim.Link { return in.net.FindLink(e.A, e.B) }
+	ab := e.A + "–" + e.B
+	switch e.Kind {
+	case HostCrash:
+		if in.grid != nil {
+			h := in.grid.Host(e.Host)
+			h.Crash()
+			in.record(now, "crash", e.Host, "")
+			if e.For > 0 {
+				in.eng.After(e.For, func() {
+					if err := h.Reboot(); err != nil {
+						in.record(in.eng.Now(), "reboot-fail", e.Host, err.Error())
+						return
+					}
+					in.record(in.eng.Now(), "reboot", e.Host, "")
+				})
+			}
+		} else {
+			n := in.net.Node(e.Host)
+			n.SetCrashed(true)
+			in.record(now, "crash", e.Host, "")
+			if e.For > 0 {
+				in.eng.After(e.For, func() {
+					n.SetCrashed(false)
+					in.record(in.eng.Now(), "reboot", e.Host, "")
+				})
+			}
+		}
+	case LinkDown:
+		link().SetDown(true)
+		in.record(now, "linkdown", ab, "")
+		if e.For > 0 {
+			in.eng.After(e.For, func() {
+				link().SetDown(false)
+				in.record(in.eng.Now(), "linkup", ab, "")
+			})
+		}
+	case LinkFlap:
+		// Expand the flap here so each phase lands on the timeline.
+		t := simcore.Duration(0)
+		for i := 0; i < e.Count; i++ {
+			in.eng.After(t, func() {
+				link().SetDown(true)
+				in.record(in.eng.Now(), "linkdown", ab, "flap")
+			})
+			in.eng.After(t+e.Down, func() {
+				link().SetDown(false)
+				in.record(in.eng.Now(), "linkup", ab, "flap")
+			})
+			t += e.Down + e.Up
+		}
+	case LinkDegrade:
+		link().Degrade(e.BWFactor, e.DelayFactor, e.Loss)
+		in.record(now, "degrade", ab,
+			fmt.Sprintf("bw=%g delay=%g loss=%g", e.BWFactor, e.DelayFactor, e.Loss))
+		if e.For > 0 {
+			in.eng.After(e.For, func() {
+				link().Restore()
+				in.record(in.eng.Now(), "restore", ab, "")
+			})
+		}
+	case CPULoad:
+		h := in.grid.Host(e.Host)
+		task := h.Phys.StartCompetitor("chaos-load:" + e.Host)
+		in.record(now, "cpuload", e.Host, "on "+h.Phys.Name)
+		if e.For > 0 {
+			in.eng.After(e.For, func() {
+				task.SetBusyLoop(false)
+				in.record(in.eng.Now(), "cpuload-end", e.Host, "")
+			})
+		}
+	case MemPressure:
+		h := in.grid.Host(e.Host)
+		mem, err := h.Mem.NewProcess("chaos-memhog:" + e.Host)
+		if err == nil {
+			err = mem.Malloc(e.Bytes)
+		}
+		if err != nil {
+			in.record(now, "memhog-fail", e.Host, err.Error())
+			return
+		}
+		in.record(now, "memhog", e.Host, fmt.Sprintf("%d bytes", e.Bytes))
+		if e.For > 0 {
+			in.eng.After(e.For, func() {
+				mem.Release()
+				in.record(in.eng.Now(), "memhog-end", e.Host, "")
+			})
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"microgrid/internal/gis"
+	"microgrid/internal/simcore"
+)
+
+// The schedule text format, in the same line-oriented style as
+// internal/topology's configs:
+//
+//	# worker crash under load
+//	schedule crash-demo
+//	at 500ms crash vm2 for=2s jitter=50ms
+//	at 1s linkdown vbns-west vbns-east for=200ms
+//	at 1s flap ucsd-gw sdsc-gw down=100ms up=400ms count=3
+//	at 2s degrade vbns-west vbns-east bw=0.5 delay=2 loss=0.01 for=1s
+//	at 3s cpuload vm1 for=5s
+//	at 4s memhog vm3 64MB for=1s
+//
+// Durations use Go syntax (time.ParseDuration); sizes accept the GIS
+// suffixes (KB, MB, GB). Blank lines and #-comments are ignored.
+
+// ParseSchedule reads a schedule from r.
+func ParseSchedule(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "schedule":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("chaos: line %d: want 'schedule <name>'", lineno)
+			}
+			if s.Name != "" {
+				return nil, fmt.Errorf("chaos: line %d: duplicate schedule line", lineno)
+			}
+			s.Name = fields[1]
+		case "at":
+			if s.Name == "" {
+				return nil, fmt.Errorf("chaos: line %d: 'at' before 'schedule <name>'", lineno)
+			}
+			e, err := parseEvent(fields)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: line %d: %w", lineno, err)
+			}
+			s.Events = append(s.Events, e)
+		default:
+			return nil, fmt.Errorf("chaos: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseScheduleString parses a schedule from text.
+func ParseScheduleString(text string) (*Schedule, error) {
+	return ParseSchedule(strings.NewReader(text))
+}
+
+// LoadSchedule parses a schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSchedule(f)
+}
+
+// parseEvent parses one "at <t> <kind> <args...> [k=v...]" line.
+func parseEvent(fields []string) (Event, error) {
+	var e Event
+	if len(fields) < 3 {
+		return e, fmt.Errorf("want 'at <time> <kind> ...'")
+	}
+	at, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return e, fmt.Errorf("bad time %q: %v", fields[1], err)
+	}
+	e.At = simcore.Time(at)
+	e.Loss = -1 // "unchanged" until a loss= option appears
+	rest := fields[3:]
+	positional := func(n int) ([]string, error) {
+		if len(rest) < n {
+			return nil, fmt.Errorf("%s needs %d argument(s)", fields[2], n)
+		}
+		args := rest[:n]
+		for _, a := range args {
+			if strings.Contains(a, "=") {
+				return nil, fmt.Errorf("%s needs %d argument(s) before options", fields[2], n)
+			}
+		}
+		rest = rest[n:]
+		return args, nil
+	}
+	switch fields[2] {
+	case "crash":
+		e.Kind = HostCrash
+		args, err := positional(1)
+		if err != nil {
+			return e, err
+		}
+		e.Host = args[0]
+	case "cpuload":
+		e.Kind = CPULoad
+		args, err := positional(1)
+		if err != nil {
+			return e, err
+		}
+		e.Host = args[0]
+	case "memhog":
+		e.Kind = MemPressure
+		args, err := positional(2)
+		if err != nil {
+			return e, err
+		}
+		e.Host = args[0]
+		b, err := gis.ParseBytes(args[1])
+		if err != nil {
+			return e, fmt.Errorf("bad size %q: %v", args[1], err)
+		}
+		e.Bytes = b
+	case "linkdown":
+		e.Kind = LinkDown
+		args, err := positional(2)
+		if err != nil {
+			return e, err
+		}
+		e.A, e.B = args[0], args[1]
+	case "flap":
+		e.Kind = LinkFlap
+		args, err := positional(2)
+		if err != nil {
+			return e, err
+		}
+		e.A, e.B = args[0], args[1]
+	case "degrade":
+		e.Kind = LinkDegrade
+		args, err := positional(2)
+		if err != nil {
+			return e, err
+		}
+		e.A, e.B = args[0], args[1]
+	default:
+		return e, fmt.Errorf("unknown fault kind %q", fields[2])
+	}
+	for _, opt := range rest {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return e, fmt.Errorf("bad option %q (want key=value)", opt)
+		}
+		switch k {
+		case "for":
+			if e.For, err = time.ParseDuration(v); err != nil {
+				return e, fmt.Errorf("bad for=%q: %v", v, err)
+			}
+		case "jitter":
+			if e.Jitter, err = time.ParseDuration(v); err != nil {
+				return e, fmt.Errorf("bad jitter=%q: %v", v, err)
+			}
+		case "down":
+			if e.Down, err = time.ParseDuration(v); err != nil {
+				return e, fmt.Errorf("bad down=%q: %v", v, err)
+			}
+		case "up":
+			if e.Up, err = time.ParseDuration(v); err != nil {
+				return e, fmt.Errorf("bad up=%q: %v", v, err)
+			}
+		case "count":
+			if e.Count, err = strconv.Atoi(v); err != nil {
+				return e, fmt.Errorf("bad count=%q: %v", v, err)
+			}
+		case "bw":
+			if e.BWFactor, err = strconv.ParseFloat(v, 64); err != nil {
+				return e, fmt.Errorf("bad bw=%q: %v", v, err)
+			}
+		case "delay":
+			if e.DelayFactor, err = strconv.ParseFloat(v, 64); err != nil {
+				return e, fmt.Errorf("bad delay=%q: %v", v, err)
+			}
+		case "loss":
+			if e.Loss, err = strconv.ParseFloat(v, 64); err != nil {
+				return e, fmt.Errorf("bad loss=%q: %v", v, err)
+			}
+		default:
+			return e, fmt.Errorf("unknown option %q for %s", k, fields[2])
+		}
+	}
+	return e, nil
+}

@@ -135,8 +135,8 @@ func TestGetExperiment(t *testing.T) {
 	if _, err := GetExperiment("fig99"); err == nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(Experiments()) != 12 {
-		t.Fatalf("experiment count = %d", len(Experiments()))
+	if n := len(Experiments()); n != 15 {
+		t.Fatalf("experiment count = %d", n)
 	}
 }
 

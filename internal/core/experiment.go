@@ -57,6 +57,9 @@ func Experiments() []struct {
 		{"fig15", Fig15EmulationRates},
 		{"fig16", Fig16Cactus},
 		{"fig17", Fig17Autopilot},
+		{"chaos-crash", ChaosCrash},
+		{"chaos-flap", ChaosFlap},
+		{"chaos-worker", ChaosWorker},
 	}
 }
 

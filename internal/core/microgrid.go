@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"microgrid/internal/chaos"
 	"microgrid/internal/gis"
 	"microgrid/internal/globus"
 	"microgrid/internal/netsim"
@@ -57,9 +58,11 @@ type MicroGrid struct {
 	// Hosts are the virtual host names in rank order.
 	Hosts []string
 	// ConfigName groups this grid's GIS records.
-	ConfigName string
-	cfg        BuildConfig
-	ran        bool
+	ConfigName  string
+	cfg         BuildConfig
+	ran         bool
+	gatekeepers map[string]*globus.Gatekeeper
+	injector    *chaos.Injector
 }
 
 // Build constructs the MicroGrid.
@@ -160,13 +163,14 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	}
 
 	m := &MicroGrid{
-		Eng:        eng,
-		Grid:       grid,
-		GIS:        gis.NewServer(),
-		Registry:   globus.NewRegistry(),
-		Hosts:      hostNames,
-		ConfigName: configName,
-		cfg:        cfg,
+		Eng:         eng,
+		Grid:        grid,
+		GIS:         gis.NewServer(),
+		Registry:    globus.NewRegistry(),
+		Hosts:       hostNames,
+		ConfigName:  configName,
+		cfg:         cfg,
+		gatekeepers: make(map[string]*globus.Gatekeeper),
 	}
 
 	// Globus: a gatekeeper on every virtual host, registered in the GIS.
@@ -176,6 +180,7 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 			return nil, err
 		}
 		gk.RegisterInGIS(m.GIS, OrgUnit, configName, grid.Host(name).Phys.Name)
+		m.gatekeepers[name] = gk
 	}
 	// Network record(s), in the paper's Fig. 3 style.
 	netRec := gis.VirtualNetwork{
@@ -199,3 +204,43 @@ func (m *MicroGrid) Clock() *vtime.Clock { return m.Grid.Clock() }
 
 // IsDirect reports whether this instance models the target natively.
 func (m *MicroGrid) IsDirect() bool { return m.cfg.Emulation == nil }
+
+// ArmChaos arms a fault schedule against this grid and wires the
+// middleware to notice failures: when a host crashes its gatekeeper's
+// GIS record disappears (so discovery stops offering the host), and
+// when it reboots a fresh gatekeeper starts and re-registers. Call
+// before RunApp; the injections fire while the application runs.
+func (m *MicroGrid) ArmChaos(s *chaos.Schedule) (*chaos.Injector, error) {
+	if m.injector != nil {
+		return nil, fmt.Errorf("core: chaos already armed")
+	}
+	m.Grid.OnCrash = func(h *virtual.Host) {
+		if gk, ok := m.gatekeepers[h.Name]; ok {
+			gk.DeregisterFromGIS(m.GIS, OrgUnit)
+			delete(m.gatekeepers, h.Name)
+		}
+	}
+	m.Grid.OnReboot = func(h *virtual.Host) {
+		gk, err := globus.StartGatekeeper(h, 0, m.Registry)
+		if err != nil {
+			return // host will stay out of the GIS; discovery skips it
+		}
+		gk.RegisterInGIS(m.GIS, OrgUnit, m.ConfigName, h.Phys.Name)
+		m.gatekeepers[h.Name] = gk
+	}
+	in := chaos.NewInjector(m.Eng, m.Grid.Network(), m.Grid)
+	if err := in.Arm(s); err != nil {
+		return nil, err
+	}
+	m.injector = in
+	return in, nil
+}
+
+// ChaosTimeline returns the armed injector's timeline (nil without
+// ArmChaos).
+func (m *MicroGrid) ChaosTimeline() []chaos.TimelineEntry {
+	if m.injector == nil {
+		return nil
+	}
+	return m.injector.Timeline()
+}

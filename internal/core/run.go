@@ -34,6 +34,17 @@ type RunOptions struct {
 	// count > host count); ranks on one host timeshare its virtual CPU.
 	// Default 1.
 	RanksPerHost int
+	// Ranks, when nonzero, overrides the rank count (block-cyclic over the
+	// grid's hosts). Lets a job leave spare hosts for failover.
+	Ranks int
+	// SubmitPolicy, when non-nil, submits through
+	// globus.Client.RunMPIJobResilient: each attempt re-discovers live
+	// hosts from the GIS, times out after StatusTimeout, cancels, backs
+	// off and retries. Nil keeps the plain submit-and-wait path.
+	SubmitPolicy *globus.SubmitRetryPolicy
+	// MaxWallTime, when nonzero, is injected into every job's RSL;
+	// jobmanagers kill ranks that exceed it (bounds a partitioned run).
+	MaxWallTime simcore.Duration
 }
 
 // Report is the outcome of one application run.
@@ -55,6 +66,13 @@ type Report struct {
 	Net netsim.NetStats
 	// HostUtilization reports each physical machine's busy fraction.
 	HostUtilization map[string]float64
+	// Attempts is how many submissions the client made (1 = no fault hit;
+	// >1 means recovery kicked in).
+	Attempts int
+	// JobVirtual is the client-observed virtual time from first submission
+	// to completion — includes failed attempts and backoff, so under
+	// faults it exceeds VirtualElapsed by the recovery cost.
+	JobVirtual simcore.Duration
 }
 
 // RunApp submits fn as a Globus job across all of the grid's virtual
@@ -72,11 +90,14 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 		rph = 1
 	}
 	// Rank r lives on host r mod len(Hosts): block-cyclic placement.
-	rankHosts := make([]string, 0, len(m.Hosts)*rph)
-	for i := 0; i < rph; i++ {
-		rankHosts = append(rankHosts, m.Hosts...)
+	n := len(m.Hosts) * rph
+	if opts.Ranks > 0 {
+		n = opts.Ranks
 	}
-	n := len(rankHosts)
+	rankHosts := make([]string, n)
+	for i := range rankHosts {
+		rankHosts[i] = m.Hosts[i%len(m.Hosts)]
+	}
 	col := autopilot.NewCollector(m.Eng, m.Grid.Clock())
 	report := &Report{
 		Name:    name,
@@ -85,8 +106,11 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 		Traces:  make(map[string][]autopilot.Sample),
 	}
 
-	hostOf := func(r int) string { return rankHosts[r] }
 	if err := m.Registry.Register(name, func(ctx *globus.JobContext) error {
+		// Rank placement comes from the submission itself (ctx.Hosts), not
+		// from rankHosts: a resilient resubmission after a crash lands on
+		// a different host set.
+		hostOf := func(r int) string { return ctx.Hosts[r] }
 		c, err := mpi.Connect(ctx.Proc, ctx.Rank, ctx.Count, ctx.BasePort, hostOf)
 		if err != nil {
 			return err
@@ -117,22 +141,42 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	client, err := m.Grid.Host(m.Hosts[0]).Spawn("globus-client", func(p *virtual.Process) {
 		defer col.Stop()
 		defer m.Grid.StopControllers()
-		cl := &globus.Client{Proc: p, Credential: opts.Credential}
-		hosts := globus.DiscoverHosts(m.GIS, m.ConfigName)
-		if len(hosts) != len(m.Hosts) {
-			submitErr = fmt.Errorf("core: GIS discovery found %d hosts, want %d", len(hosts), len(m.Hosts))
-			return
+		cl := &globus.Client{Proc: p, Credential: opts.Credential, MaxWallTime: opts.MaxWallTime}
+		start := p.Gettimeofday()
+		// Even a failed run has a measured cost: how long the client fought
+		// before giving up.
+		defer func() {
+			report.JobVirtual = p.Gettimeofday().Sub(start)
+			report.PhysicalElapsed = simcore.Duration(p.Proc().Now())
+		}()
+		report.Attempts = 1
+		if opts.SubmitPolicy != nil {
+			// Resilient path: discovery happens per attempt inside, so no
+			// up-front host count check — failover wants fewer hosts.
+			out, err := cl.RunMPIJobResilient(m.GIS, m.ConfigName, name, n, opts.BasePort, *opts.SubmitPolicy)
+			if out != nil {
+				report.Attempts = out.Attempts
+			}
+			if err != nil {
+				submitErr = err
+				return
+			}
+		} else {
+			hosts := globus.DiscoverHosts(m.GIS, m.ConfigName)
+			if len(hosts) != len(m.Hosts) {
+				submitErr = fmt.Errorf("core: GIS discovery found %d hosts, want %d", len(hosts), len(m.Hosts))
+				return
+			}
+			mj, err := cl.SubmitMPIJob(m.GIS, name, rankHosts, opts.BasePort)
+			if err != nil {
+				submitErr = err
+				return
+			}
+			if err := mj.WaitAll(); err != nil {
+				submitErr = err
+				return
+			}
 		}
-		mj, err := cl.SubmitMPIJob(m.GIS, name, rankHosts, opts.BasePort)
-		if err != nil {
-			submitErr = err
-			return
-		}
-		if err := mj.WaitAll(); err != nil {
-			submitErr = err
-			return
-		}
-		report.PhysicalElapsed = simcore.Duration(p.Proc().Now())
 	})
 	if err != nil {
 		return nil, err
@@ -143,7 +187,9 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 		return nil, fmt.Errorf("core: simulation error: %w", err)
 	}
 	if submitErr != nil {
-		return nil, submitErr
+		// The report still carries the measured cost of the failure
+		// (Attempts, JobVirtual); fault experiments read it.
+		return report, submitErr
 	}
 	for _, d := range report.PerRank {
 		if d > report.VirtualElapsed {

@@ -42,6 +42,8 @@ type Host struct {
 	tasks   []*Task
 	nextID  int
 	current *Task
+	// failed freezes the scheduler entirely (see Fail/Restore).
+	failed bool
 	// sliceGen invalidates stale slice-end events.
 	sliceGen   int64
 	sliceStart simcore.Time
@@ -319,7 +321,7 @@ func (h *Host) pick() *Task {
 
 // maybeSchedule starts a slice if the CPU is free and work exists.
 func (h *Host) maybeSchedule() {
-	if h.current != nil {
+	if h.current != nil || h.failed {
 		return
 	}
 	t := h.pick()

@@ -1,0 +1,58 @@
+package cpusched
+
+// Fault and load injection hooks for the chaos subsystem: a physical
+// machine can fail outright (nothing schedules until it is restored), a
+// killed process's queued demand can be cancelled, and a competing
+// compute-bound process can be started to steal cycles.
+
+// Fail marks the host failed: the in-progress slice ends and no task is
+// scheduled until Restore. Task state (registrations, counters, pending
+// demand) is preserved but frozen; the virtual layer crashes the
+// machine's virtual hosts separately.
+func (h *Host) Fail() {
+	if h.failed {
+		return
+	}
+	h.endSlice()
+	h.failed = true
+	if !h.idle {
+		h.idle = true
+		h.idleSince = h.eng.Now()
+	}
+}
+
+// Failed reports whether the host is failed.
+func (h *Host) Failed() bool { return h.failed }
+
+// Restore brings a failed host back; runnable tasks resume scheduling.
+func (h *Host) Restore() {
+	if !h.failed {
+		return
+	}
+	h.failed = false
+	h.maybeSchedule()
+}
+
+// CancelPending discards the task's queued compute demand — the crash
+// cleanup for a killed process that will never collect its Compute
+// result. The in-progress slice (if this task holds the CPU) ends, the
+// busy-loop flag clears, and the single-waiter slot reopens.
+func (t *Task) CancelPending() {
+	h := t.host
+	if h.current == t {
+		h.endSlice()
+	}
+	t.pendingOps = 0
+	t.busyLoop = false
+	t.waiting = false
+	h.maybeSchedule()
+}
+
+// StartCompetitor registers and starts a busy-loop task: the paper's
+// competing compute-bound process. Stop it with SetBusyLoop(false) on
+// the returned task.
+func (h *Host) StartCompetitor(name string) *Task {
+	t := h.NewTask(name)
+	t.SetBusyLoop(true)
+	return t
+}

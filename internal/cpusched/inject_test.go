@@ -1,0 +1,70 @@
+package cpusched
+
+import (
+	"testing"
+
+	"microgrid/internal/simcore"
+)
+
+// A failed host freezes compute; Restore resumes it and the work
+// completes late by exactly the outage.
+func TestHostFailRestore(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "p0", 100, 0) // 100 MIPS
+	task := h.NewTask("t")
+	var done simcore.Time
+	eng.Spawn("worker", func(p *simcore.Proc) {
+		task.ComputeSeconds(p, 1) // 1 s of CPU
+		done = p.Now()
+	})
+	eng.After(500*simcore.Millisecond, func() { h.Fail() })
+	eng.After(2500*simcore.Millisecond, func() { h.Restore() })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := simcore.Time(3 * simcore.Second) // 1 s work + 2 s outage
+	if done != want {
+		t.Errorf("completion at %v, want %v", done, want)
+	}
+}
+
+// A busy-loop competitor halves delivered CPU under the fair scheduler.
+func TestStartCompetitorHalvesThroughput(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "p0", 100, 0)
+	task := h.NewTask("t")
+	var done simcore.Time
+	eng.Spawn("worker", func(p *simcore.Proc) {
+		task.ComputeSeconds(p, 1)
+		done = p.Now()
+	})
+	comp := h.StartCompetitor("competitor")
+	eng.After(simcore.Duration(2100)*simcore.Millisecond, func() { comp.SetBusyLoop(false) })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// With a 50% competitor, 1 s of work takes ~2 s.
+	if done < simcore.Time(1900*simcore.Millisecond) || done > simcore.Time(2100*simcore.Millisecond) {
+		t.Errorf("completion at %v, want ~2s", done)
+	}
+}
+
+// CancelPending discards queued demand so the host goes idle.
+func TestCancelPending(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	h := NewHost(eng, "p0", 100, 0)
+	task := h.NewTask("t")
+	task.AddDemand(100e6 * 10) // 10 s of work, event-style
+	eng.After(1*simcore.Second, func() {
+		task.CancelPending()
+		if task.HasDemand() {
+			t.Error("task still has demand after CancelPending")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := eng.Now(); got != simcore.Time(1*simcore.Second) {
+		t.Errorf("engine drained at %v, want 1s (work cancelled)", got)
+	}
+}

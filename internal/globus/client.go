@@ -18,6 +18,11 @@ type Client struct {
 	Proc *virtual.Process
 	// Credential is presented to gatekeepers (checked against gridmaps).
 	Credential string
+	// MaxWallTime, if nonzero, is injected as the RSL maxwalltime of every
+	// submitted job: jobmanagers kill ranks that exceed it. Essential for
+	// fault experiments, where a network partition can leave ranks running
+	// on hosts the client can no longer reach.
+	MaxWallTime simcore.Duration
 }
 
 // JobHandle tracks one submitted (sub)job.
@@ -25,6 +30,7 @@ type JobHandle struct {
 	// Host is the gatekeeper host the job was submitted to.
 	Host string
 	conn *virtual.Conn
+	proc *virtual.Process
 	// State is the last observed job state.
 	State string
 	// FailReason holds the error text for StateFailed.
@@ -53,7 +59,7 @@ func (cl *Client) Submit(gatekeeperHost string, port netsim.Port, rsl *RSL, rank
 	if err := conn.Send(len(req.rslText)+64, req); err != nil {
 		return nil, fmt.Errorf("globus: submit to %s: %w", gatekeeperHost, err)
 	}
-	return &JobHandle{Host: gatekeeperHost, conn: conn, State: StatePending}, nil
+	return &JobHandle{Host: gatekeeperHost, conn: conn, proc: cl.Proc, State: StatePending}, nil
 }
 
 // NextState blocks for the next status notification.
@@ -88,6 +94,30 @@ func (j *JobHandle) WaitDone() error {
 	}
 }
 
+// NextStateTimeout is NextState with a deadline of d virtual time. A
+// timeout consumes nothing; err remains nil.
+func (j *JobHandle) NextStateTimeout(d simcore.Duration) (state string, timedOut bool, err error) {
+	m, timedOut, err := j.conn.RecvTimeout(d)
+	if err != nil {
+		return "", false, fmt.Errorf("globus: job on %s: status channel: %w", j.Host, err)
+	}
+	if timedOut {
+		return "", true, nil
+	}
+	st, ok := m.Payload.(*statusMsg)
+	if !ok {
+		return "", false, fmt.Errorf("globus: job on %s: malformed status", j.Host)
+	}
+	j.State = st.state
+	j.FailReason = st.err
+	return st.state, false, nil
+}
+
+// Cancel abandons the job: closing the status channel tells the
+// jobmanager — which checks for a vanished client on every poll — to
+// kill the job process. Safe to call at any point, including after DONE.
+func (j *JobHandle) Cancel() { j.conn.Close() }
+
 // MultiJob is a coallocated job spread over several gatekeepers (the
 // DUROC analog used to launch one MPI rank per virtual host).
 type MultiJob struct {
@@ -105,6 +135,9 @@ func (cl *Client) SubmitMPIJob(server *gis.Server, executable string, hosts []st
 	}
 	rsl := NewRSL([2]string{"executable", executable},
 		[2]string{"count", strconv.Itoa(len(hosts))})
+	if cl.MaxWallTime > 0 {
+		rsl.Set("maxwalltime", strconv.FormatFloat(cl.MaxWallTime.Seconds(), 'g', -1, 64))
+	}
 	mj := &MultiJob{}
 	for rank, h := range hosts {
 		port := DefaultGatekeeperPort
@@ -117,12 +150,66 @@ func (cl *Client) SubmitMPIJob(server *gis.Server, executable string, hosts []st
 		}
 		handle, err := cl.Submit(h, port, rsl, rank, len(hosts), hosts, basePort)
 		if err != nil {
+			// Don't leave already-submitted ranks waiting forever on a
+			// world that will never assemble.
+			mj.Cancel()
 			return nil, err
 		}
 		mj.Handles = append(mj.Handles, handle)
 	}
 	mj.Start = cl.Proc.Gettimeofday()
 	return mj, nil
+}
+
+// Cancel abandons every subjob; their jobmanagers reap the ranks.
+func (mj *MultiJob) Cancel() {
+	for _, h := range mj.Handles {
+		h.Cancel()
+	}
+}
+
+// WaitAllTimeout is WaitAll with one shared deadline of d virtual time
+// across all subjobs. On timeout it reports which subjobs were still
+// unfinished; the caller decides whether to Cancel.
+func (mj *MultiJob) WaitAllTimeout(d simcore.Duration) error {
+	if len(mj.Handles) == 0 {
+		return nil
+	}
+	deadline := mj.Handles[0].proc.Gettimeofday().Add(d)
+	var firstErr error
+	var late []string
+	for _, h := range mj.Handles {
+	subjob:
+		for {
+			remain := deadline.Sub(h.proc.Gettimeofday())
+			if remain <= 0 {
+				late = append(late, h.Host)
+				break
+			}
+			state, timedOut, err := h.NextStateTimeout(remain)
+			switch {
+			case err != nil:
+				if firstErr == nil {
+					firstErr = err
+				}
+				break subjob
+			case timedOut:
+				late = append(late, h.Host)
+				break subjob
+			case state == StateDone:
+				break subjob
+			case state == StateFailed:
+				if firstErr == nil {
+					firstErr = fmt.Errorf("globus: job on %s failed: %s", h.Host, h.FailReason)
+				}
+				break subjob
+			}
+		}
+	}
+	if firstErr == nil && len(late) > 0 {
+		firstErr = fmt.Errorf("globus: timed out after %v waiting for subjobs on %v", d, late)
+	}
+	return firstErr
 }
 
 // WaitAll blocks until every subjob finishes, returning the first failure.

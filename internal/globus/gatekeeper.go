@@ -212,14 +212,34 @@ func runJobManager(host *virtual.Host, c *virtual.Conn, rsl *RSL, req *submitReq
 			_ = jmConn.Send(16, &statusMsg{state: StateFailed, err: err.Error()})
 			return
 		}
-		_ = job // monitored via the finished flag
 		if err := jmConn.Send(16, &statusMsg{state: StateActive}); err != nil {
 			return
 		}
 		// Poll for completion, as the real jobmanager polled the local
-		// scheduler. The poll interval is virtual time.
+		// scheduler. The poll interval is virtual time. The same loop
+		// enforces the RSL walltime limit and reaps the job if the client
+		// vanishes (crashed submitter, cancelled multijob) — without it a
+		// partitioned or abandoned rank would compute forever.
+		deadline := simcore.Time(0)
+		if wt := rsl.MaxWallTime(); wt > 0 {
+			deadline = jm.Gettimeofday().Add(simcore.Duration(wt * 1e9))
+		}
 		for !finished {
 			jm.Sleep(10 * simcore.Millisecond)
+			if finished {
+				break
+			}
+			if jmConn.PeerClosed() {
+				job.Kill()
+				jmConn.Close()
+				return
+			}
+			if deadline != 0 && jm.Gettimeofday() >= deadline {
+				job.Kill()
+				doneState = StateFailed
+				errText = fmt.Sprintf("walltime limit of %gs exceeded", rsl.MaxWallTime())
+				break
+			}
 		}
 		_ = jmConn.Send(16, &statusMsg{state: doneState, err: errText})
 		jmConn.Close()
@@ -245,4 +265,11 @@ func (gk *Gatekeeper) RegisterInGIS(server *gis.Server, orgUnit, configName, map
 	e := rec.Entry()
 	e.Set(gis.AttrGatekeeperPort, strconv.Itoa(int(gk.Port)))
 	server.Upsert(e)
+}
+
+// DeregisterFromGIS removes the gatekeeper's host record — run on host
+// crash so clients discovering resources do not route work at a corpse.
+func (gk *Gatekeeper) DeregisterFromGIS(server *gis.Server, orgUnit string) {
+	dn := gis.VirtualHost{Hostname: gk.Host.Name, OrgUnit: orgUnit}.DN()
+	server.Delete(dn)
 }

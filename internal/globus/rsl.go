@@ -57,6 +57,18 @@ func (r *RSL) Count() int {
 	return 1
 }
 
+// MaxWallTime returns the maxwalltime attribute in virtual seconds
+// (0 = unlimited). GRAM's maxwalltime was minutes; seconds suit the
+// short experiment timescales here.
+func (r *RSL) MaxWallTime() float64 {
+	if s := r.Get("maxwalltime"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
 // Arguments returns the space-split arguments attribute.
 func (r *RSL) Arguments() []string {
 	s := r.Get("arguments")

@@ -209,6 +209,38 @@ func (c *Comm) Recv(src, tag int) (any, Status, error) {
 	}
 }
 
+// RecvTimeout is Recv with a deadline of d *virtual* time: if no
+// matching message arrives in time it returns timedOut=true with no
+// message consumed. This is the failure-detection primitive fault-
+// tolerant masters use to notice dead workers.
+func (c *Comm) RecvTimeout(src, tag int, d simcore.Duration) (any, Status, bool, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, Status{}, false, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	deadline := c.proc.Gettimeofday().Add(d)
+	for {
+		for i, env := range c.inbox {
+			if env == nil {
+				continue
+			}
+			tagOK := env.tag == tag || (tag == AnyTag && env.tag >= 0)
+			if (src == AnySource || env.src == src) && tagOK {
+				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+				c.Received++
+				c.proc.ChargeMessage(env.size)
+				return env.data, Status{Source: env.src, Tag: env.tag, Size: env.size}, false, nil
+			}
+		}
+		remain := deadline.Sub(c.proc.Gettimeofday())
+		if remain <= 0 {
+			return nil, Status{}, true, nil
+		}
+		if _, timedOut := c.arrived.WaitTimeout(c.proc.Proc(), c.proc.ToPhysical(remain)); timedOut {
+			return nil, Status{}, true, nil
+		}
+	}
+}
+
 // Probe reports whether a matching message is already queued, without
 // receiving it.
 func (c *Comm) Probe(src, tag int) (Status, bool) {

@@ -510,3 +510,33 @@ func TestDeterministicWorld(t *testing.T) {
 		t.Fatalf("nondeterministic: %v vs %v", a, b)
 	}
 }
+
+func TestRecvTimeout(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Nothing matching tag 9 ever arrives: must time out.
+			start := c.Proc().Gettimeofday()
+			_, _, timedOut, err := c.RecvTimeout(1, 9, 2*simcore.Second)
+			if err != nil {
+				return err
+			}
+			if !timedOut {
+				return fmt.Errorf("RecvTimeout returned a message that was never sent")
+			}
+			if el := c.Proc().Gettimeofday().Sub(start); el < 2*simcore.Second {
+				return fmt.Errorf("timed out early after %v", el)
+			}
+			// A real message still arrives through the same path.
+			data, st, timedOut, err := c.RecvTimeout(1, 7, 30*simcore.Second)
+			if err != nil || timedOut {
+				return fmt.Errorf("second RecvTimeout: timedOut=%v err=%v", timedOut, err)
+			}
+			if data.(string) != "late" || st.Source != 1 {
+				return fmt.Errorf("got %v %+v", data, st)
+			}
+			return nil
+		}
+		c.Proc().Sleep(5 * simcore.Second)
+		return c.Send(0, 7, 100, "late")
+	})
+}

@@ -32,11 +32,24 @@ type World struct {
 	fin     *simcore.Cond
 }
 
+// LaunchOptions tunes Launch for non-SPMD-perfect worlds.
+type LaunchOptions struct {
+	// SkipExitBarrier omits the barrier after the application function.
+	// Required for fault-tolerant runs: a rank whose host crashed never
+	// reaches the exit barrier, and survivors must not wait for it.
+	SkipExitBarrier bool
+}
+
 // Launch starts fn on each host (rank i on hosts[i]). basePort
 // disambiguates concurrent worlds (0 = default). The returned World
 // completes when the engine runs; call Wait from a process or inspect
 // Results after Engine.Run returns.
 func Launch(grid *virtual.Grid, hosts []*virtual.Host, name string, basePort netsim.Port, fn func(c *Comm) error) (*World, error) {
+	return LaunchWith(grid, hosts, name, basePort, LaunchOptions{}, fn)
+}
+
+// LaunchWith is Launch with explicit options.
+func LaunchWith(grid *virtual.Grid, hosts []*virtual.Host, name string, basePort netsim.Port, opt LaunchOptions, fn func(c *Comm) error) (*World, error) {
 	n := len(hosts)
 	if n == 0 {
 		return nil, fmt.Errorf("mpi: empty host list")
@@ -70,9 +83,11 @@ func Launch(grid *virtual.Grid, hosts []*virtual.Host, name string, basePort net
 				res.Err = err
 				return
 			}
-			if err := c.Barrier(); err != nil {
-				res.Err = err
-				return
+			if !opt.SkipExitBarrier {
+				if err := c.Barrier(); err != nil {
+					res.Err = err
+					return
+				}
 			}
 			res.End = p.Gettimeofday()
 		})

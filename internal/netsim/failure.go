@@ -1,11 +1,17 @@
 package netsim
 
-import "microgrid/internal/simcore"
+import (
+	"sort"
 
-// Link failure injection: Grid environments "exhibit extreme heterogeneity
-// of configuration, performance, and reliability" (paper §1); adaptive
-// middleware studies need links that fail and recover. A downed link
-// drops everything in flight and in queue; routes recompute around it.
+	"microgrid/internal/simcore"
+)
+
+// Link and node failure injection: Grid environments "exhibit extreme
+// heterogeneity of configuration, performance, and reliability" (paper
+// §1); adaptive middleware studies need links that fail, flap, degrade
+// and lose packets, and hosts that crash and reboot. A downed link drops
+// everything in flight and in queue; routes recompute around it. The
+// chaos subsystem (internal/chaos) drives these hooks from schedules.
 
 // SetDown changes the link's failure state. Taking a link down drops its
 // queued packets; routes are recomputed either way so traffic immediately
@@ -33,6 +39,116 @@ func (l *Link) ScheduleFailure(at simcore.Time, duration simcore.Duration) {
 		eng.At(at.Add(duration), func() { l.SetDown(false) })
 	}
 }
+
+// ScheduleFlap schedules count down/up cycles starting at 'at': the link
+// goes down for downFor, comes back for upFor, and repeats.
+func (l *Link) ScheduleFlap(at simcore.Time, downFor, upFor simcore.Duration, count int) {
+	eng := l.A.net.eng
+	t := at
+	for i := 0; i < count; i++ {
+		eng.At(t, func() { l.SetDown(true) })
+		eng.At(t.Add(downFor), func() { l.SetDown(false) })
+		t = t.Add(downFor + upFor)
+	}
+}
+
+// SetLossProb sets the link's independent per-packet loss probability in
+// both directions (a lossy but live link, unlike SetDown).
+func (l *Link) SetLossProb(p float64) {
+	l.Config.LossProb = p
+	l.ab.cfg.LossProb = p
+	l.ba.cfg.LossProb = p
+}
+
+// Degrade scales the link's bandwidth and delay by the given factors and
+// sets a loss probability, remembering the original configuration for
+// Restore. Factors ≤ 0 leave that parameter unchanged; loss < 0 keeps
+// the original loss rate. Repeated Degrades rebase on the original
+// configuration rather than compounding. Packets already serializing
+// finish at their old rate; routes recompute with the new delay.
+func (l *Link) Degrade(bwFactor, delayFactor, loss float64) {
+	if l.orig == nil {
+		o := l.Config
+		l.orig = &o
+	}
+	cfg := *l.orig
+	if bwFactor > 0 {
+		cfg.BandwidthBps = l.orig.BandwidthBps * bwFactor
+	}
+	if delayFactor > 0 {
+		cfg.Delay = simcore.Duration(float64(l.orig.Delay) * delayFactor)
+	}
+	if loss >= 0 {
+		cfg.LossProb = loss
+	}
+	l.applyConfig(cfg)
+}
+
+// Degraded reports whether the link currently runs degraded.
+func (l *Link) Degraded() bool { return l.orig != nil }
+
+// Restore reverts a Degrade to the original link configuration.
+func (l *Link) Restore() {
+	if l.orig == nil {
+		return
+	}
+	cfg := *l.orig
+	l.orig = nil
+	l.applyConfig(cfg)
+}
+
+func (l *Link) applyConfig(cfg LinkConfig) {
+	l.Config = cfg
+	l.ab.cfg = cfg
+	l.ba.cfg = cfg
+	l.A.net.ComputeRoutes()
+}
+
+// SetCrashed fails or restores a node. While crashed, the node drops
+// every packet addressed to or routed through it. Crashing closes all
+// listeners and aborts all connections (their blocked processes get
+// ErrClosed); peers discover the failure through their own
+// retransmission caps. Restoring brings the node back empty: listeners
+// and connections do not survive, only the node's identity.
+func (n *Node) SetCrashed(crashed bool) {
+	if n.crashed == crashed {
+		return
+	}
+	n.crashed = crashed
+	if !crashed {
+		return
+	}
+	// Deterministic teardown: listeners by port, then conns by key.
+	ports := make([]Port, 0, len(n.listeners))
+	for p := range n.listeners {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, p := range ports {
+		n.listeners[p].Close()
+	}
+	keys := make([]connKey, 0, len(n.conns))
+	for k := range n.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.local != kj.local {
+			return ki.local < kj.local
+		}
+		if ki.remote != kj.remote {
+			return ki.remote < kj.remote
+		}
+		return ki.remotePort < kj.remotePort
+	})
+	for _, k := range keys {
+		n.conns[k].abort()
+	}
+	n.dgramFrags = nil
+}
+
+// Crashed reports whether the node is crashed.
+func (n *Node) Crashed() bool { return n.crashed }
 
 func (c *channel) setDown(down bool) {
 	c.down = down

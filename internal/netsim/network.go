@@ -82,6 +82,9 @@ type Node struct {
 	conns      map[connKey]*Conn
 	dgramFrags map[dgramKey]*dgramState
 	nextPort   Port
+	// crashed makes the node drop every packet addressed to or routed
+	// through it (see SetCrashed).
+	crashed bool
 	// Stats per node.
 	Delivered int64
 	Forwarded int64
@@ -100,6 +103,8 @@ type Link struct {
 	Config LinkConfig
 	ab, ba *channel
 	down   bool
+	// orig remembers the pre-Degrade configuration (nil when undegraded).
+	orig *LinkConfig
 }
 
 // AddHost adds a host node with a fixed address.
@@ -156,6 +161,17 @@ func (n *Network) Nodes() []*Node {
 
 // Links returns all links in creation order.
 func (n *Network) Links() []*Link { return n.links }
+
+// FindLink returns the link joining the two named nodes (in either
+// order), or nil.
+func (n *Network) FindLink(a, b string) *Link {
+	for _, l := range n.links {
+		if (l.A.Name == a && l.B.Name == b) || (l.A.Name == b && l.B.Name == a) {
+			return l
+		}
+	}
+	return nil
+}
 
 // Connect joins a and b with a full-duplex link. Defaults are applied to
 // zero fields of cfg.

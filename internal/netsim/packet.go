@@ -147,6 +147,9 @@ func (c *channel) startNext() {
 
 // sendPacket routes pkt out of node n toward its destination.
 func (n *Node) sendPacket(pkt *Packet) error {
+	if n.crashed {
+		return fmt.Errorf("netsim: node %s is crashed", n.Name)
+	}
 	if pkt.ttl == 0 {
 		pkt.ttl = defaultTTL
 	}
@@ -168,6 +171,10 @@ func (n *Node) sendPacket(pkt *Packet) error {
 
 // receive handles a packet arriving at node n: local delivery or forward.
 func (n *Node) receive(pkt *Packet) {
+	if n.crashed {
+		n.net.Stats.PacketsDropped++
+		return
+	}
 	if pkt.Dst != n.Addr {
 		pkt.ttl--
 		if pkt.ttl <= 0 {

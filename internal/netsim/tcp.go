@@ -19,6 +19,12 @@ const (
 	maxRTO            = 60 * simcore.Second
 	synRetryInterval  = simcore.Second
 	maxSynRetries     = 5
+	// maxConsecTimeouts bounds consecutive data-retransmission timeouts:
+	// after this many back-to-back RTO expiries with no forward progress
+	// the connection aborts (ErrClosed to both senders and receivers).
+	// This is the transport's failure detector — without it a dead peer
+	// would be retransmitted to forever.
+	maxConsecTimeouts = 8
 )
 
 // ErrClosed is returned by Send/Recv on a closed connection.
@@ -131,6 +137,7 @@ type Conn struct {
 	rto                    simcore.Duration
 	srtt, rttvar           float64 // seconds; srtt < 0 means no sample yet
 	rtoGen                 int64
+	consecTimeouts         int
 	sendClosed             bool // Close requested
 	finSent                bool
 
@@ -433,6 +440,29 @@ func (c *Conn) onFIN(*Packet) {
 	c.rcvQ.Close()
 }
 
+// PeerClosed reports whether the peer has closed its sending side (FIN
+// received) or the connection has failed outright. Buffered messages may
+// still be pending; Recv drains them before reporting ErrClosed.
+func (c *Conn) PeerClosed() bool { return c.rcvClosed || c.closed }
+
+// abort tears this endpoint down unilaterally (node crash or retransmit
+// exhaustion): blocked receivers drain what arrived and then get
+// ErrClosed, blocked senders and dialers wake with an error, and all
+// timers die. The peer is not notified — it discovers the failure via
+// its own retransmission cap.
+func (c *Conn) abort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.rtoGen++ // cancel any pending RTO
+	c.rcvClosed = true
+	c.rcvQ.Close()
+	c.estCond.Broadcast()
+	c.sndSpace.Broadcast()
+	delete(c.node.conns, c.key)
+}
+
 // trySend transmits new segments while the window allows.
 func (c *Conn) trySend() {
 	for c.sndNxt < c.sndEnd {
@@ -498,6 +528,13 @@ func (c *Conn) armRTO() {
 
 func (c *Conn) onTimeout() {
 	c.Stats.Timeouts++
+	c.consecTimeouts++
+	if c.consecTimeouts >= maxConsecTimeouts {
+		// The peer is unreachable (crashed host, partitioned link):
+		// give up, as a real stack's retransmission cap would.
+		c.abort()
+		return
+	}
 	inflight := float64(c.sndNxt - c.sndUna)
 	c.ssthresh = math.Max(inflight/2, 2*float64(c.mss))
 	c.cwnd = float64(c.mss)
@@ -554,6 +591,7 @@ func (c *Conn) onACK(pkt *Packet) {
 	case pkt.Ack > c.sndUna:
 		acked := float64(pkt.Ack - c.sndUna)
 		c.sndUna = pkt.Ack
+		c.consecTimeouts = 0 // forward progress
 		if c.fastRecovery {
 			if c.sndUna >= c.recoverSeq {
 				c.fastRecovery = false

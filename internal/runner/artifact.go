@@ -17,13 +17,16 @@ type TableArtifact struct {
 
 // ExperimentArtifact is one experiment's outcome in campaign.json.
 type ExperimentArtifact struct {
-	ID      string             `json:"id"`
-	Status  Status             `json:"status"`
-	Title   string             `json:"title,omitempty"`
-	Error   string             `json:"error,omitempty"`
-	Table   *TableArtifact     `json:"table,omitempty"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-	Notes   []string           `json:"notes,omitempty"`
+	ID      string      `json:"id"`
+	Status  Status      `json:"status"`
+	Failure FailureKind `json:"failure,omitempty"`
+	// Attempts is recorded only when the task needed more than one.
+	Attempts int                `json:"attempts,omitempty"`
+	Title    string             `json:"title,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Table    *TableArtifact     `json:"table,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Notes    []string           `json:"notes,omitempty"`
 }
 
 // CampaignArtifact is the campaign.json document: everything a run
@@ -40,7 +43,10 @@ type CampaignArtifact struct {
 func NewCampaignArtifact(results []Result, quick bool) *CampaignArtifact {
 	art := &CampaignArtifact{Quick: quick}
 	for _, r := range results {
-		ea := ExperimentArtifact{ID: r.ID, Status: r.Status}
+		ea := ExperimentArtifact{ID: r.ID, Status: r.Status, Failure: r.Failure}
+		if r.Attempts > 1 {
+			ea.Attempts = r.Attempts
+		}
 		if r.Err != nil {
 			ea.Error = r.Err.Error()
 		}
@@ -76,9 +82,9 @@ func CampaignJSON(results []Result, quick bool) ([]byte, error) {
 // vary run to run; it exists for dashboards and regression tracking.
 func TimingsCSV(results []Result) []byte {
 	var sb strings.Builder
-	sb.WriteString("id,status,attempts,wall_seconds\n")
+	sb.WriteString("id,status,failure,attempts,wall_seconds\n")
 	for _, r := range results {
-		fmt.Fprintf(&sb, "%s,%s,%d,%.3f\n", r.ID, r.Status, r.Attempts, r.Wall.Seconds())
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%.3f\n", r.ID, r.Status, r.Failure, r.Attempts, r.Wall.Seconds())
 	}
 	return []byte(sb.String())
 }

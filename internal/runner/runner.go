@@ -47,6 +47,23 @@ type Task struct {
 	Run func(ctx context.Context) (*core.Experiment, error)
 }
 
+// FailureKind refines a Result beyond Status: how (if at all) the task
+// misbehaved. Campaign artifacts record it per experiment so fault
+// campaigns can tell a flaky pass from a clean one.
+type FailureKind string
+
+const (
+	// FailureNone: the task passed on its first attempt.
+	FailureNone FailureKind = ""
+	// FailureRetryThenPass: at least one attempt errored before a later
+	// attempt succeeded.
+	FailureRetryThenPass FailureKind = "retry-then-pass"
+	// FailureError: every attempt returned an error.
+	FailureError FailureKind = "error"
+	// FailureTimeout: the per-task wall-clock deadline expired.
+	FailureTimeout FailureKind = "timeout"
+)
+
 // Result is the outcome of one task.
 type Result struct {
 	// ID echoes the task ID.
@@ -57,6 +74,8 @@ type Result struct {
 	Err error
 	// Status classifies the outcome.
 	Status Status
+	// Failure records how the task misbehaved, if it did.
+	Failure FailureKind
 	// Attempts counts runs of the task (1 normally, 2 after a retry).
 	Attempts int
 	// Wall is the task's total wall-clock time across attempts.
@@ -130,7 +149,7 @@ func Run(ctx context.Context, tasks []Task, opts Options) []Result {
 // runTask runs one task to a final Result: up to 1+retries attempts,
 // stopping early on success, timeout, or campaign cancellation.
 func runTask(ctx context.Context, t Task, timeout time.Duration, retries int) Result {
-	res := Result{ID: t.ID, Status: StatusFailed}
+	res := Result{ID: t.ID, Status: StatusFailed, Failure: FailureError}
 	start := time.Now()
 	for attempt := 0; attempt <= retries; attempt++ {
 		res.Attempts = attempt + 1
@@ -139,11 +158,16 @@ func runTask(ctx context.Context, t Task, timeout time.Duration, retries int) Re
 			res.Experiment = exp
 			res.Err = nil
 			res.Status = StatusOK
+			res.Failure = FailureNone
+			if attempt > 0 {
+				res.Failure = FailureRetryThenPass
+			}
 			break
 		}
 		res.Err = fmt.Errorf("%s: %w", t.ID, err)
 		if errors.Is(err, context.DeadlineExceeded) {
 			res.Status = StatusTimeout
+			res.Failure = FailureTimeout
 			break // a deadline expiry repeats; don't burn another timeout
 		}
 		if ctx.Err() != nil {

@@ -32,15 +32,16 @@ func okTask(id string) Task {
 	}}
 }
 
-// TestCampaignParallelMatchesSequential is the determinism gate: all 12
-// registered experiments at quick scale, 8 workers vs 1 worker, must
+// TestCampaignParallelMatchesSequential is the determinism gate: every
+// registered experiment at quick scale, 8 workers vs 1 worker, must
 // agree exactly — same Metrics, same rendered tables, byte-identical
 // campaign.json.
 func TestCampaignParallelMatchesSequential(t *testing.T) {
+	want := len(core.Experiments())
 	seq := Run(context.Background(), Campaign(true), Options{Workers: 1})
 	par := Run(context.Background(), Campaign(true), Options{Workers: 8})
-	if len(seq) != 12 || len(par) != 12 {
-		t.Fatalf("got %d sequential and %d parallel results, want 12", len(seq), len(par))
+	if len(seq) != want || len(par) != want {
+		t.Fatalf("got %d sequential and %d parallel results, want %d", len(seq), len(par), want)
 	}
 	for i := range seq {
 		s, p := seq[i], par[i]
@@ -235,7 +236,7 @@ func TestWriteArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := bytes.Split(bytes.TrimSpace(csv), []byte("\n"))
-	if len(lines) != 3 || !bytes.HasPrefix(lines[1], []byte("a,ok,1,")) {
+	if len(lines) != 3 || !bytes.HasPrefix(lines[1], []byte("a,ok,,1,")) {
 		t.Fatalf("timings.csv = %q", csv)
 	}
 }

@@ -210,6 +210,41 @@ func (e *Engine) shutdown() {
 	}
 }
 
+// Kill condemns a process: at the current instant (after events already
+// queued for it) the process is aborted at its blocking point and its
+// goroutine unwinds, running any deferred cleanup in process functions.
+// Wakeups already scheduled for the victim are discarded, and Cond
+// signals pass it over, so killing a process never strands a signal or
+// corrupts the event order. Killing an exited or already-condemned
+// process is a no-op. Safe to call from event callbacks and from other
+// processes (including the victim itself).
+func (e *Engine) Kill(p *Proc) {
+	if p == nil || p.killed || p.state == procDead {
+		return
+	}
+	p.killed = true
+	// The abort handshake must run from the engine's event loop — never
+	// from another process goroutine — so route it through the heap.
+	e.At(e.now, func() {
+		if p.state != procParked {
+			// Already exited (state reached procDead before delivery), or
+			// self-kill delivered while the victim still runs: in the
+			// latter case the victim parks or exits within this instant
+			// and the killed flag stops any later resume; if it parks, a
+			// fresh abort event finishes the job.
+			if p.state == procRunning {
+				e.At(e.now, func() {
+					if p.state == procParked {
+						e.abort(p)
+					}
+				})
+			}
+			return
+		}
+		e.abort(p)
+	})
+}
+
 // abort resumes p with the abort flag; p's park panics with errAborted,
 // which the spawn wrapper recovers, terminating the goroutine.
 func (e *Engine) abort(p *Proc) {

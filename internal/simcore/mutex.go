@@ -5,8 +5,9 @@ package simcore
 // blocks a real goroutine outside the engine's control — waiters park
 // through the event queue, preserving determinism.
 type Mutex struct {
-	cond *Cond
-	held bool
+	cond  *Cond
+	held  bool
+	owner *Proc
 	// Contentions counts Lock calls that had to wait.
 	Contentions int64
 }
@@ -29,9 +30,11 @@ func (m *Mutex) Lock(p *Proc) {
 		}
 	}
 	m.held = true
+	m.owner = p
 }
 
 // TryLock acquires the mutex if free, reporting success. It never blocks.
+// A TryLock acquisition has no recorded owner.
 func (m *Mutex) TryLock() bool {
 	if m.held {
 		return false
@@ -47,8 +50,26 @@ func (m *Mutex) Unlock() {
 		panic("simcore: Unlock of unlocked Mutex")
 	}
 	m.held = false
+	m.owner = nil
+	m.cond.Signal(nil)
+}
+
+// ForceUnlock releases the mutex regardless of who holds it, waking the
+// next waiter. It is the crash-cleanup escape hatch for a lock whose
+// holder was killed mid-critical-section; on an unheld mutex it is a
+// no-op.
+func (m *Mutex) ForceUnlock() {
+	if !m.held {
+		return
+	}
+	m.held = false
+	m.owner = nil
 	m.cond.Signal(nil)
 }
 
 // Held reports whether the mutex is currently locked.
 func (m *Mutex) Held() bool { return m.held }
+
+// Owner returns the process that acquired the mutex via Lock (nil when
+// unheld or acquired via TryLock).
+func (m *Mutex) Owner() *Proc { return m.owner }

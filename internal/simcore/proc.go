@@ -29,6 +29,9 @@ type Proc struct {
 	daemon bool
 	state  procState
 	resume chan wakeup
+	// killed marks a process condemned by Engine.Kill: pending wakeups
+	// for it are discarded and Cond signals pass it over.
+	killed bool
 	// waitSlot carries a value to a process being woken from Cond.WaitValue.
 	waitSlot any
 }
@@ -45,6 +48,10 @@ func (p *Proc) Now() Time { return p.eng.now }
 // SetDaemon marks the process as a daemon: a daemon blocked forever at the
 // end of the run (e.g. an accept loop) does not count as a deadlock.
 func (p *Proc) SetDaemon(daemon bool) { p.daemon = daemon }
+
+// Killed reports whether the process has been condemned by Engine.Kill
+// (or has already unwound as a result).
+func (p *Proc) Killed() bool { return p.killed }
 
 // Spawn creates a new process executing fn, scheduled to start at the
 // current simulated time (after already-queued events at this time).
@@ -88,6 +95,11 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 // It must only be called from the engine's event loop (i.e. inside event
 // callbacks), never from another process.
 func (e *Engine) resumeProc(p *Proc, w wakeup) {
+	if p.killed || p.state == procDead {
+		// A wakeup (timer, signal) raced with Engine.Kill; the target is
+		// gone, so the wakeup evaporates.
+		return
+	}
 	if p.state != procParked {
 		panic(fmt.Sprintf("simcore: resuming process %q in state %d", p.name, p.state))
 	}

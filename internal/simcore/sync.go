@@ -66,11 +66,21 @@ func (c *Cond) Signal(v any) bool {
 	for len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		if w.fired {
+		if w.fired || w.p.killed || w.p.state == procDead {
+			// Killed waiters are skipped without consuming the signal.
 			continue
 		}
 		w.fired = true
-		c.eng.At(c.eng.now, func() { c.eng.resumeProc(w.p, wakeup{val: v}) })
+		c.eng.At(c.eng.now, func() {
+			if w.p.killed || w.p.state == procDead {
+				// The chosen waiter was killed between Signal and
+				// delivery; the signal must not be lost (it may carry a
+				// mutex release or queue item), so pass it on.
+				c.Signal(v)
+				return
+			}
+			c.eng.resumeProc(w.p, wakeup{val: v})
+		})
 		return true
 	}
 	return false

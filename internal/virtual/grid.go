@@ -98,6 +98,14 @@ type Grid struct {
 
 	sendOverheadOps float64
 	perByteOps      float64
+
+	// OnCrash and OnReboot, when set, observe host state transitions made
+	// by Host.Crash/Host.Reboot. The assembled system (internal/core) uses
+	// them to tear down and restart middleware daemons — a crashed host's
+	// gatekeeper closes and its GIS record disappears; a rebooted host
+	// re-registers.
+	OnCrash  func(*Host)
+	OnReboot func(*Host)
 }
 
 // Host is one virtual host.
@@ -123,6 +131,10 @@ type Host struct {
 	// cpu serializes the single virtual CPU among this host's processes.
 	cpu    *simcore.Mutex
 	nprocs int
+	// down marks a crashed host (see Crash/Reboot in crash.go); procs
+	// tracks resident processes so a crash can kill them.
+	down  bool
+	procs []*Process
 }
 
 // NewGrid builds the virtual grid runtime. The caller supplies the virtual

@@ -26,6 +26,9 @@ type Process struct {
 // memory account is charged the standard overhead; Spawn fails if the host
 // is out of memory.
 func (h *Host) Spawn(name string, fn func(p *Process)) (*Process, error) {
+	if h.down {
+		return nil, fmt.Errorf("virtual: host %s is down", h.Name)
+	}
 	h.nprocs++
 	pname := fmt.Sprintf("%s/%s#%d", h.Name, name, h.nprocs)
 	mem, err := h.Mem.NewProcess(pname)
@@ -33,15 +36,26 @@ func (h *Host) Spawn(name string, fn func(p *Process)) (*Process, error) {
 		return nil, err
 	}
 	vp := &Process{host: h, mem: mem, name: pname}
+	h.procs = append(h.procs, vp)
 	vp.proc = h.grid.eng.Spawn(pname, func(p *simcore.Proc) {
 		vp.proc = p
 		defer func() {
 			vp.dead = true
 			mem.Release()
+			h.dropProc(vp)
 		}()
 		fn(vp)
 	})
 	return vp, nil
+}
+
+func (h *Host) dropProc(vp *Process) {
+	for i, x := range h.procs {
+		if x == vp {
+			h.procs = append(h.procs[:i], h.procs[i+1:]...)
+			return
+		}
+	}
 }
 
 // SpawnDaemon is Spawn for processes expected to outlive the run (accept
@@ -72,6 +86,31 @@ func (p *Process) Gethostname() string { return p.host.Name }
 // gettimeofday(), giving "the illusion of a virtual machine at full
 // speed".
 func (p *Process) Gettimeofday() simcore.Time { return p.host.grid.clock.Gettimeofday() }
+
+// ToPhysical converts a span of virtual time to engine (physical) time —
+// for primitives outside this package that take engine-time deadlines.
+func (p *Process) ToPhysical(d simcore.Duration) simcore.Duration {
+	return p.host.grid.clock.ToPhysical(d)
+}
+
+// Dead reports whether the process has exited or been killed.
+func (p *Process) Dead() bool { return p.dead }
+
+// Kill forcibly terminates the process (the SIGKILL analog): it unwinds
+// at its current blocking point, releasing its memory. If it was holding
+// the host CPU mid-Compute, the queued demand is cancelled and the CPU
+// freed so surviving processes are not wedged behind a corpse.
+func (p *Process) Kill() {
+	if p.dead {
+		return
+	}
+	h := p.host
+	if h.cpu.Owner() == p.proc {
+		h.task.CancelPending()
+		h.cpu.ForceUnlock()
+	}
+	h.grid.eng.Kill(p.proc)
+}
 
 // Sleep suspends the process for a span of *virtual* time.
 func (p *Process) Sleep(d simcore.Duration) { p.host.grid.clock.SleepVirtual(p.proc, d) }

@@ -94,6 +94,10 @@ func (c *Conn) RecvTimeout(d simcore.Duration) (m netsim.Message, timedOut bool,
 // Close flushes and closes the sending direction.
 func (c *Conn) Close() { c.c.Close() }
 
+// PeerClosed reports whether the peer has closed its sending side or the
+// connection has failed (crashed peer, exhausted retransmissions).
+func (c *Conn) PeerClosed() bool { return c.c.PeerClosed() }
+
 // RemoteAddr returns the peer's virtual address.
 func (c *Conn) RemoteAddr() netsim.Addr { return c.c.RemoteAddr() }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"microgrid/internal/mpi"
+	"microgrid/internal/simcore"
 )
 
 // Policy selects the scheduling strategy.
@@ -57,6 +58,15 @@ type Config struct {
 	// ResultBytes is the per-unit result payload returned to the master
 	// (default 64).
 	ResultBytes int
+	// FaultTolerant makes the master survive worker loss by re-dispatching
+	// chunks whose reports do not arrive within LostTimeout. Requires
+	// SelfScheduling.
+	FaultTolerant bool
+	// LostTimeout is how long the fault-tolerant master waits for a
+	// granted chunk before declaring its worker lost (virtual time,
+	// default 1s). It must exceed the worst-case chunk compute time, or
+	// healthy slow workers are reaped as dead.
+	LostTimeout simcore.Duration
 }
 
 // Result summarizes a run from the master's perspective.
@@ -66,6 +76,15 @@ type Result struct {
 	// PerWorker counts units executed by each rank (index 0 = master,
 	// always 0).
 	PerWorker []int
+	// Fault-tolerance counters (zero unless Config.FaultTolerant).
+	// DeadWorkers counts lost-worker declarations, LostUnits the units
+	// in flight on declared-dead workers, RedispatchedUnits the units
+	// re-granted from the requeue, and Stragglers the reports that
+	// arrived from workers previously declared dead.
+	DeadWorkers       int
+	LostUnits         int
+	RedispatchedUnits int
+	Stragglers        int
 }
 
 // Message tags.
@@ -80,9 +99,10 @@ type assignment struct {
 	first, count int
 }
 
-// report is the worker's completion message.
+// report is the worker's completion message. first identifies the chunk
+// so the fault-tolerant master can credit re-executed work exactly once.
 type report struct {
-	worker, count int
+	worker, first, count int
 }
 
 // Run executes the farmed computation over the communicator. Rank 0 is
@@ -101,7 +121,18 @@ func Run(c *mpi.Comm, cfg Config) (*Result, error) {
 	if cfg.ResultBytes <= 0 {
 		cfg.ResultBytes = 64
 	}
+	if cfg.FaultTolerant {
+		if cfg.Policy != SelfScheduling {
+			return nil, fmt.Errorf("workqueue: fault tolerance requires SelfScheduling")
+		}
+		if cfg.LostTimeout <= 0 {
+			cfg.LostTimeout = simcore.Second
+		}
+	}
 	if c.Rank() == 0 {
+		if cfg.FaultTolerant {
+			return runMasterFT(c, cfg)
+		}
 		return runMaster(c, cfg)
 	}
 	return nil, runWorker(c, cfg)
@@ -182,7 +213,7 @@ func runWorker(c *mpi.Comm, cfg Config) error {
 		}
 		c.Proc().Compute(float64(a.count) * cfg.OpsPerUnit)
 		return c.Send(0, tagResult, cfg.ResultBytes*a.count,
-			&report{worker: c.Rank(), count: a.count})
+			&report{worker: c.Rank(), first: a.first, count: a.count})
 	case SelfScheduling:
 		for {
 			if err := c.Send(0, tagRequest, 8, nil); err != nil {
@@ -198,7 +229,7 @@ func runWorker(c *mpi.Comm, cfg Config) error {
 			}
 			c.Proc().Compute(float64(a.count) * cfg.OpsPerUnit)
 			if err := c.Send(0, tagResult, cfg.ResultBytes*a.count,
-				&report{worker: c.Rank(), count: a.count}); err != nil {
+				&report{worker: c.Rank(), first: a.first, count: a.count}); err != nil {
 				return err
 			}
 		}

@@ -202,3 +202,95 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A worker's host crashes mid-farm: the fault-tolerant master declares it
+// lost, re-dispatches its chunk, and every unit is counted exactly once.
+func TestFaultTolerantWorkerCrash(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g, hosts := hetGrid(t, eng, []float64{533, 533, 533, 533})
+	cfg := Config{
+		Units:         60,
+		OpsPerUnit:    2e7,
+		Policy:        SelfScheduling,
+		FaultTolerant: true,
+		LostTimeout:   simcore.Second,
+	}
+	var res *Result
+	w, err := mpi.LaunchWith(g, hosts, "ftfarm", 0, mpi.LaunchOptions{SkipExitBarrier: true}, func(c *mpi.Comm) error {
+		r, err := Run(c, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.After(500*simcore.Millisecond, func() { g.Host("vm2").Crash() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w // the crashed rank's error is expected; rank 0 is what matters
+	if res == nil {
+		t.Fatal("master produced no result")
+	}
+	if res.UnitsDone != cfg.Units {
+		t.Fatalf("UnitsDone = %d, want %d", res.UnitsDone, cfg.Units)
+	}
+	if res.DeadWorkers == 0 {
+		t.Error("no worker was declared dead despite the crash")
+	}
+	if res.LostUnits == 0 || res.RedispatchedUnits != res.LostUnits {
+		t.Errorf("lost=%d redispatched=%d, want equal and nonzero",
+			res.LostUnits, res.RedispatchedUnits)
+	}
+	if res.PerWorker[2] > 0 && res.PerWorker[2]+res.LostUnits > cfg.Units {
+		t.Errorf("crashed worker credited implausibly: %v", res.PerWorker)
+	}
+	m := res.Metrics()
+	if m["units_done"] != float64(cfg.Units) {
+		t.Errorf("Metrics units_done = %v", m["units_done"])
+	}
+	if tbl := res.MetricsTable("ft"); len(tbl.Rows) != 5 {
+		t.Errorf("MetricsTable rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+// Without fault tolerance the same crash deadlocks the farm: the master
+// waits forever for the lost chunk. The engine reports it deterministically.
+func TestNonFaultTolerantWorkerCrashHangs(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	g, hosts := hetGrid(t, eng, []float64{533, 533, 533, 533})
+	cfg := Config{Units: 60, OpsPerUnit: 2e7, Policy: SelfScheduling}
+	if _, err := mpi.Launch(g, hosts, "farm", 0, func(c *mpi.Comm) error {
+		_, err := Run(c, cfg)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.After(500*simcore.Millisecond, func() { g.Host("vm2").Crash() })
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected a deadlock from the non-fault-tolerant farm")
+	}
+}
+
+func TestFaultTolerantRequiresSelfScheduling(t *testing.T) {
+	_, tm := farm(t, []float64{533}, Config{Units: 4, OpsPerUnit: 1e6, Policy: SelfScheduling})
+	_ = tm
+	eng := simcore.NewEngine(1)
+	g, hosts := hetGrid(t, eng, []float64{533})
+	if _, err := mpi.Launch(g, hosts, "bad", 0, func(c *mpi.Comm) error {
+		_, err := Run(c, Config{Units: 4, OpsPerUnit: 1e6, Policy: Static, FaultTolerant: true})
+		if err == nil && c.Rank() == 0 {
+			return fmt.Errorf("static+FT accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Ranks return immediately on the config error; drain the engine.
+	_ = eng.Run()
+}

@@ -25,7 +25,9 @@ package microgrid
 import (
 	"context"
 
+	"microgrid/internal/chaos"
 	"microgrid/internal/core"
+	"microgrid/internal/globus"
 	"microgrid/internal/npb"
 	"microgrid/internal/runner"
 	"microgrid/internal/simcore"
@@ -126,6 +128,34 @@ const (
 
 // Campaign returns one task per registered experiment, in paper order.
 func Campaign(quick bool) []CampaignTask { return runner.Campaign(quick) }
+
+// Fault injection (the chaos subsystem). A ChaosSchedule — built
+// programmatically or parsed from text — is armed against a MicroGrid
+// with MicroGrid.ArmChaos before RunApp; all jitter comes from the
+// engine's seeded RNG, so one seed plus one schedule reproduces the same
+// faults at any worker count.
+type (
+	// ChaosSchedule is a named, ordered fault plan.
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosInjector arms schedules against a simulation.
+	ChaosInjector = chaos.Injector
+	// SubmitRetryPolicy configures recovery for RunOptions.SubmitPolicy:
+	// per-attempt status timeout, bounded retries with jittered
+	// exponential backoff, and failover to alternate GIS-discovered hosts.
+	SubmitRetryPolicy = globus.SubmitRetryPolicy
+)
+
+// ParseChaosSchedule parses the chaos schedule text format.
+func ParseChaosSchedule(text string) (*ChaosSchedule, error) {
+	return chaos.ParseScheduleString(text)
+}
+
+// LoadChaosSchedule parses a chaos schedule file.
+func LoadChaosSchedule(path string) (*ChaosSchedule, error) {
+	return chaos.LoadSchedule(path)
+}
 
 // RunCampaign executes tasks on opts.Workers goroutines, returning one
 // result per task in task order. Failures never abort the campaign.

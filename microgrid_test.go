@@ -112,7 +112,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 // in task order, artifacts on disk.
 func TestPublicCampaignAPI(t *testing.T) {
 	tasks := Campaign(true)
-	if len(tasks) != 12 || tasks[0].ID != "fig05" {
+	if len(tasks) != len(Experiments()) || tasks[0].ID != "fig05" {
 		t.Fatalf("campaign = %d tasks, first %q", len(tasks), tasks[0].ID)
 	}
 	boom := CampaignTask{ID: "boom", Run: func(ctx context.Context) (*Experiment, error) {
