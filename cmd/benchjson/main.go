@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench` output into a JSON artifact
+// and gates CI on benchmark regressions.
+//
+// Capture (reads bench output on stdin, aggregates -count repeats):
+//
+//	go test -run '^$' -bench '...' -benchmem -benchtime=1x -count=3 . |
+//	    go run ./cmd/benchjson -out BENCH_3.json -note "linux ci"
+//
+// Compare (exit 1 when any baseline bench regresses ns/op beyond the
+// threshold, or disappears):
+//
+//	go run ./cmd/benchjson -compare BENCH_3.json,BENCH_3.new.json -threshold 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microgrid/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("out", "", "write aggregated results from stdin to this JSON file")
+	note := flag.String("note", "", "provenance note stored in the artifact")
+	compare := flag.String("compare", "", "OLD,NEW JSON files to diff benchstat-style")
+	threshold := flag.Float64("threshold", 20, "ns/op regression threshold in percent for -compare")
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		results, err := benchjson.Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if len(results) == 0 {
+			fatal(fmt.Errorf("no benchmark lines on stdin"))
+		}
+		agg := benchjson.Aggregate(results)
+		if err := benchjson.WriteFile(*out, benchjson.File{Note: *note, Results: agg}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(agg))
+	case *compare != "":
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-compare wants OLD,NEW"))
+		}
+		oldF, err := benchjson.ReadFile(parts[0])
+		if err != nil {
+			fatal(err)
+		}
+		newF, err := benchjson.ReadFile(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		deltas, regressed := benchjson.Compare(oldF.Results, newF.Results, *threshold)
+		fmt.Print(benchjson.FormatTable(deltas))
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %+.0f%% vs %s\n", *threshold, parts[0])
+			os.Exit(1)
+		}
+		fmt.Printf("ok: no ns/op regression beyond %+.0f%%\n", *threshold)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

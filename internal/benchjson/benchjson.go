@@ -1,0 +1,258 @@
+// Package benchjson turns `go test -bench` output into a stable JSON
+// artifact and compares two such artifacts benchstat-style. It is the
+// measurement half of the hot-path optimization work: CI runs the pinned
+// benchmarks, writes BENCH_3.json, and fails when ns/op regresses beyond
+// a threshold against the committed baseline.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's figures. With -count=N the parser yields N
+// Results per benchmark; Aggregate folds them into per-stat medians.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries custom b.ReportMetric figures (figure error
+	// percentages, modeled seconds, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_N.json artifact layout.
+type File struct {
+	// Note describes provenance (host, flags, date) — informational only.
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix go test appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output, returning one Result per benchmark
+// line in input order. Non-benchmark lines (logs, tables, the ok trailer)
+// are skipped.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark line is "Name iters value unit [value unit]...".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:  gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iters: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "MB/s":
+				// throughput is derivable from ns/op; keep as a metric
+				fallthrough
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// Aggregate folds repeated runs of the same benchmark (-count=N) into one
+// Result per name holding the per-stat median, preserving first-seen
+// order. Medians keep a single noisy run (GC pause, CI neighbor) from
+// polluting the artifact.
+func Aggregate(results []Result) []Result {
+	var order []string
+	groups := make(map[string][]Result)
+	for _, r := range results {
+		if _, seen := groups[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		agg := Result{Name: name, Iters: g[0].Iters}
+		agg.NsPerOp = median(g, func(r Result) float64 { return r.NsPerOp })
+		agg.BytesPerOp = median(g, func(r Result) float64 { return r.BytesPerOp })
+		agg.AllocsPerOp = median(g, func(r Result) float64 { return r.AllocsPerOp })
+		keys := make(map[string]bool)
+		for _, r := range g {
+			for k := range r.Metrics {
+				keys[k] = true
+			}
+		}
+		if len(keys) > 0 {
+			agg.Metrics = make(map[string]float64, len(keys))
+			for k := range keys {
+				agg.Metrics[k] = median(g, func(r Result) float64 { return r.Metrics[k] })
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+func median(g []Result, get func(Result) float64) float64 {
+	vals := make([]float64, 0, len(g))
+	for _, r := range g {
+		vals = append(vals, get(r))
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// WriteFile writes f as deterministic, indented JSON.
+func WriteFile(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a JSON artifact written by WriteFile.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Old, New Result
+	// NsPct is the ns/op change in percent (positive = slower).
+	NsPct float64
+	// Missing marks a baseline benchmark absent from the new run — treated
+	// as a regression so pinned benches cannot silently disappear.
+	Missing bool
+	// Regressed reports whether NsPct exceeded the threshold (or the
+	// benchmark went missing).
+	Regressed bool
+}
+
+// Compare matches new results against old by name and flags ns/op
+// regressions beyond thresholdPct (e.g. 20 for +20%). Benchmarks only in
+// the new run are ignored; benchmarks only in the old run are regressions.
+func Compare(old, new []Result, thresholdPct float64) (deltas []Delta, regressed bool) {
+	byName := make(map[string]Result, len(new))
+	for _, r := range new {
+		byName[r.Name] = r
+	}
+	for _, o := range old {
+		d := Delta{Name: o.Name, Old: o}
+		if n, ok := byName[o.Name]; ok {
+			d.New = n
+			if o.NsPerOp > 0 {
+				d.NsPct = 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			}
+			d.Regressed = d.NsPct > thresholdPct
+		} else {
+			d.Missing = true
+			d.Regressed = true
+		}
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, regressed
+}
+
+// FormatTable renders deltas as a benchstat-style table.
+func FormatTable(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s %14s %8s %12s %12s\n",
+		"name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, d := range deltas {
+		if d.Missing {
+			fmt.Fprintf(&b, "%-52s %14s %14s %8s %12s %12s  MISSING\n",
+				trimBench(d.Name), fmtNs(d.Old.NsPerOp), "-", "-", fmtCount(d.Old.AllocsPerOp), "-")
+			continue
+		}
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-52s %14s %14s %+7.1f%% %12s %12s%s\n",
+			trimBench(d.Name), fmtNs(d.Old.NsPerOp), fmtNs(d.New.NsPerOp), d.NsPct,
+			fmtCount(d.Old.AllocsPerOp), fmtCount(d.New.AllocsPerOp), mark)
+	}
+	return b.String()
+}
+
+func trimBench(name string) string {
+	return strings.TrimPrefix(name, "Benchmark")
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.4gns", v)
+	}
+}
+
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gk", v/1e3)
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

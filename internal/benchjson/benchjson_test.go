@@ -1,0 +1,124 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: microgrid
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig10NPBClassA          	       1	22022005653 ns/op	         8.547 worst_err_%	5373883944 B/op	167318605 allocs/op
+--- BENCH: BenchmarkFig10NPBClassA
+    bench_test.go:94:
+        Fig. 10 — NPB class A totals: physical vs MicroGrid
+          config         bench  pgrid_s  mgrid_s  err_%
+          Alpha Cluster  EP     56.659   56.926   0.470
+BenchmarkFig10NPBClassA          	       1	20033455106 ns/op	         8.547 worst_err_%	5373851152 B/op	167318337 allocs/op
+BenchmarkFig10NPBClassA          	       1	34237403880 ns/op	         8.547 worst_err_%	5373849720 B/op	167318322 allocs/op
+BenchmarkEngineEventThroughput-8 	144435058	         8.438 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineEventThroughput-8 	145655946	         8.105 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationNetworkFidelity/packet-level-8         	       1	874229126 ns/op	         0.9814 modeled_s	183244592 B/op	5417926 allocs/op
+PASS
+ok  	microgrid	96.186s
+`
+
+func TestParseAndAggregate(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(results))
+	}
+	if results[0].Name != "BenchmarkFig10NPBClassA" || results[0].Iters != 1 {
+		t.Errorf("first result: %+v", results[0])
+	}
+	if results[0].Metrics["worst_err_%"] != 8.547 {
+		t.Errorf("custom metric not captured: %+v", results[0].Metrics)
+	}
+	if got := results[3].Name; got != "BenchmarkEngineEventThroughput" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", got)
+	}
+	if got := results[5].Name; got != "BenchmarkAblationNetworkFidelity/packet-level" {
+		t.Errorf("sub-benchmark name mangled: %q", got)
+	}
+
+	agg := Aggregate(results)
+	if len(agg) != 3 {
+		t.Fatalf("aggregated to %d results, want 3", len(agg))
+	}
+	// Median of the three Fig10 ns/op values is the middle one.
+	if agg[0].NsPerOp != 22022005653 {
+		t.Errorf("median ns/op = %g, want 22022005653", agg[0].NsPerOp)
+	}
+	if agg[0].Metrics["worst_err_%"] != 8.547 {
+		t.Errorf("aggregated metric: %+v", agg[0].Metrics)
+	}
+	// Even count takes the mean of the middle pair.
+	if want := (8.438 + 8.105) / 2; agg[1].NsPerOp != want {
+		t.Errorf("engine median ns/op = %g, want %g", agg[1].NsPerOp, want)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, File{Note: "unit test", Results: Aggregate(results)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Note != "unit test" || len(f.Results) != 3 {
+		t.Fatalf("round trip lost data: %+v", f)
+	}
+	if f.Results[0].Metrics["worst_err_%"] != 8.547 {
+		t.Errorf("metrics lost in round trip: %+v", f.Results[0])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	new := []Result{
+		{Name: "BenchmarkA", NsPerOp: 115, AllocsPerOp: 10}, // +15%: within threshold
+		{Name: "BenchmarkB", NsPerOp: 130},                  // +30%: regression
+		{Name: "BenchmarkNew", NsPerOp: 1},                  // new benches are fine
+	}
+	deltas, regressed := Compare(old, new, 20)
+	if !regressed {
+		t.Fatal("expected a regression")
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	if deltas[0].Regressed {
+		t.Errorf("A regressed at +15%% with a 20%% threshold: %+v", deltas[0])
+	}
+	if !deltas[1].Regressed || deltas[1].NsPct != 30 {
+		t.Errorf("B should regress at +30%%: %+v", deltas[1])
+	}
+	if !deltas[2].Regressed || !deltas[2].Missing {
+		t.Errorf("a vanished benchmark must count as a regression: %+v", deltas[2])
+	}
+	table := FormatTable(deltas)
+	for _, want := range []string{"REGRESSION", "MISSING", "+30.0%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	if _, bad := Compare(old[:2], new[:2], 50); bad {
+		t.Error("no regression expected at a 50%% threshold")
+	}
+}

@@ -48,7 +48,8 @@ func (n *Node) SendDatagram(dst Addr, srcPort, dstPort Port, size int, payload a
 			p = 0
 		}
 		remaining -= p
-		pkt := &Packet{
+		pkt := n.net.newPacket()
+		*pkt = Packet{
 			Src: n.Addr, Dst: dst,
 			SrcPort: srcPort, DstPort: dstPort,
 			Kind: kindDatagram,

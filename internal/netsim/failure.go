@@ -156,6 +156,9 @@ func (c *channel) setDown(down bool) {
 		// Everything queued or in flight is lost.
 		c.Dropped += int64(len(c.queue))
 		c.net.Stats.PacketsDropped += int64(len(c.queue))
+		for _, pkt := range c.queue {
+			c.net.freePacket(pkt)
+		}
 		c.queue = nil
 		c.queuedBytes = 0
 		c.epoch++

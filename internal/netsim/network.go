@@ -42,8 +42,13 @@ type Network struct {
 	byAddr   map[Addr]*Node
 	links    []*Link
 	autoID   uint32
+	nnodes   int32 // next compact node index (creation order, stable)
 	routed   bool
 	flowMode bool
+	// pktFree and hopFree head the packet and hop-event free lists; the
+	// packet path runs allocation-free once they are warm.
+	pktFree *Packet
+	hopFree *hopEvent
 	// Stats aggregates network-wide counters.
 	Stats NetStats
 }
@@ -71,12 +76,15 @@ func (n *Network) Engine() *simcore.Engine { return n.eng }
 
 // Node is a host or router.
 type Node struct {
-	net        *Network
-	Name       string
-	Addr       Addr
+	net  *Network
+	Name string
+	Addr Addr
+	// idx is the node's compact per-network index (creation order; stable
+	// across route recomputation), used to index routeTab slices.
+	idx        int32
 	Router     bool
 	ifaces     []*iface
-	routes     map[Addr]*iface // destination → outgoing channel
+	routeTab   []*iface // destination node idx → outgoing channel (nil: unreachable)
 	handlers   map[Port]DatagramHandler
 	listeners  map[Port]*Listener
 	conns      map[connKey]*Conn
@@ -130,13 +138,14 @@ func (n *Network) addNode(name string, addr Addr, router bool) *Node {
 		net:       n,
 		Name:      name,
 		Addr:      addr,
+		idx:       n.nnodes,
 		Router:    router,
-		routes:    make(map[Addr]*iface),
 		handlers:  make(map[Port]DatagramHandler),
 		listeners: make(map[Port]*Listener),
 		conns:     make(map[connKey]*Conn),
 		nextPort:  49152,
 	}
+	n.nnodes++
 	n.nodes[name] = nd
 	n.byAddr[addr] = nd
 	n.routed = false
@@ -199,55 +208,60 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 // The per-link cost is its propagation delay plus a small per-hop penalty,
 // so equal-delay paths prefer fewer hops. It must be called after topology
 // changes and before traffic flows; transports call it lazily too.
+//
+// Each node's table is a dense slice indexed by the destination's compact
+// node index, so the per-hop forwarding lookup is a single slice load.
+// Working state is likewise indexed by node idx rather than hashed.
 func (n *Network) ComputeRoutes() {
 	nodes := n.Nodes()
 	const hopPenalty = simcore.Microsecond
+	size := int(n.nnodes)
+	dist := make([]simcore.Duration, size)
+	reached := make([]bool, size)
+	visited := make([]bool, size)
+	first := make([]*iface, size) // first-hop iface from src, by dest idx
 	for _, src := range nodes {
 		// Dijkstra from src.
-		dist := map[*Node]simcore.Duration{src: 0}
-		first := map[*Node]*iface{} // first hop iface from src
-		visited := map[*Node]bool{}
+		for i := range dist {
+			dist[i], reached[i], visited[i], first[i] = 0, false, false, nil
+		}
+		reached[src.idx] = true
 		for {
 			// Extract the unvisited node with the smallest distance;
 			// iterate deterministically by name.
 			var u *Node
 			var best simcore.Duration
 			for _, cand := range nodes {
-				if visited[cand] {
+				if visited[cand.idx] || !reached[cand.idx] {
 					continue
 				}
-				d, ok := dist[cand]
-				if !ok {
-					continue
-				}
-				if u == nil || d < best || (d == best && cand.Name < u.Name) {
+				if d := dist[cand.idx]; u == nil || d < best || (d == best && cand.Name < u.Name) {
 					u, best = cand, d
 				}
 			}
 			if u == nil {
 				break
 			}
-			visited[u] = true
+			visited[u.idx] = true
 			for _, ifc := range u.ifaces {
 				if ifc.ch.down {
 					continue
 				}
 				v := ifc.ch.dst
 				cost := best + ifc.ch.cfg.Delay + hopPenalty
-				if d, ok := dist[v]; !ok || cost < d {
-					dist[v] = cost
+				if !reached[v.idx] || cost < dist[v.idx] {
+					dist[v.idx], reached[v.idx] = cost, true
 					if u == src {
-						first[v] = ifc
+						first[v.idx] = ifc
 					} else {
-						first[v] = first[u]
+						first[v.idx] = first[u.idx]
 					}
 				}
 			}
 		}
-		src.routes = make(map[Addr]*iface)
-		for v, ifc := range first {
-			src.routes[v.Addr] = ifc
-		}
+		src.routeTab = make([]*iface, size)
+		copy(src.routeTab, first)
+		src.routeTab[src.idx] = nil // self is handled by the loopback path
 	}
 	n.routed = true
 }
@@ -262,8 +276,8 @@ func (n *Network) PathDelay(a, b *Node) (simcore.Duration, int, bool) {
 	hops := 0
 	cur := a
 	for cur != b {
-		ifc, ok := cur.routes[b.Addr]
-		if !ok {
+		ifc := cur.routeTab[b.idx]
+		if ifc == nil {
 			return 0, 0, false
 		}
 		total += ifc.ch.cfg.Delay
@@ -290,8 +304,8 @@ func (n *Network) PathBottleneckBps(a, b *Node) (float64, bool) {
 	cur := a
 	hops := 0
 	for cur != b {
-		ifc, ok := cur.routes[b.Addr]
-		if !ok {
+		ifc := cur.routeTab[b.idx]
+		if ifc == nil {
 			return 0, false
 		}
 		if bw == 0 || ifc.ch.cfg.BandwidthBps < bw {
@@ -348,8 +362,8 @@ func (n *Network) PathMTU(a, b *Node) (int, bool) {
 	cur := a
 	hops := 0
 	for cur != b {
-		ifc, ok := cur.routes[b.Addr]
-		if !ok {
+		ifc := cur.routeTab[b.idx]
+		if ifc == nil {
 			return 0, false
 		}
 		if ifc.ch.cfg.MTU < mtu {

@@ -37,6 +37,9 @@ func (k packetKind) String() string {
 }
 
 // Packet is the unit of transmission. Size includes header overhead.
+// Packets are pooled per network: transports allocate with
+// Network.newPacket and every terminal point of a packet's life (delivery,
+// drop, loss) returns it with Network.freePacket.
 type Packet struct {
 	Src, Dst         Addr
 	SrcPort, DstPort Port
@@ -50,6 +53,30 @@ type Packet struct {
 	// Payload carries opaque application metadata on the final fragment.
 	Payload any
 	ttl     int
+	// dstIdx is the destination's compact per-network node index, resolved
+	// once at the origin so forwarding hops index a dense route table
+	// instead of a map.
+	dstIdx int32
+	// free links the network's packet free list.
+	free *Packet
+}
+
+// newPacket returns a zeroed packet, reusing the free list when possible.
+func (n *Network) newPacket() *Packet {
+	p := n.pktFree
+	if p == nil {
+		return &Packet{}
+	}
+	n.pktFree = p.free
+	p.free = nil
+	return p
+}
+
+// freePacket resets every field — ttl included; a stale ttl would silently
+// shorten routes on reuse — and returns p to the free list.
+func (n *Network) freePacket(p *Packet) {
+	*p = Packet{free: n.pktFree}
+	n.pktFree = p
 }
 
 func (p *Packet) String() string {
@@ -87,22 +114,27 @@ func newChannel(net *Network, name string, dst *Node, cfg LinkConfig) *channel {
 }
 
 // send enqueues pkt for transmission, applying drop-tail and random loss.
+// The channel owns pkt from here on: dropped or lost packets return to the
+// pool immediately.
 func (c *channel) send(pkt *Packet) {
 	if c.down {
 		c.Dropped++
 		c.net.Stats.PacketsDropped++
+		c.net.freePacket(pkt)
 		return
 	}
 	if c.cfg.LossProb > 0 && c.net.eng.Rand().Float64() < c.cfg.LossProb {
 		c.Lost++
 		c.net.Stats.PacketsLost++
 		c.net.eng.Tracef("netsim: %s LOSS %v", c.name, pkt)
+		c.net.freePacket(pkt)
 		return
 	}
 	if c.queuedBytes+pkt.Size > c.cfg.QueueBytes {
 		c.Dropped++
 		c.net.Stats.PacketsDropped++
 		c.net.eng.Tracef("netsim: %s DROP %v (queue full)", c.name, pkt)
+		c.net.freePacket(pkt)
 		return
 	}
 	c.queue = append(c.queue, pkt)
@@ -112,6 +144,76 @@ func (c *channel) send(pkt *Packet) {
 	}
 }
 
+// hopEvent drives one packet's serialize→propagate hop on a channel. The
+// run closure is created once per pooled instance and reused across both
+// legs and across hops, so a hop schedules no per-packet closures.
+type hopEvent struct {
+	ch     *channel
+	pkt    *Packet
+	epoch  int64
+	txTime simcore.Duration
+	// arrived is false while serialization is in progress and true while
+	// the packet propagates toward ch.dst.
+	arrived bool
+	run     func()
+	free    *hopEvent
+}
+
+// newHop takes a hop event from the network's free list, bound to c's
+// current epoch.
+func (n *Network) newHop(c *channel, pkt *Packet, txTime simcore.Duration) *hopEvent {
+	h := n.hopFree
+	if h == nil {
+		h = &hopEvent{}
+		h.run = h.fire
+	} else {
+		n.hopFree = h.free
+		h.free = nil
+	}
+	h.ch, h.pkt, h.epoch, h.txTime, h.arrived = c, pkt, c.epoch, txTime, false
+	return h
+}
+
+func (n *Network) freeHop(h *hopEvent) {
+	h.ch, h.pkt = nil, nil
+	h.free = n.hopFree
+	n.hopFree = h
+}
+
+// fire advances the hop one leg. Serialization completes at now+txTime;
+// the packet then propagates. A link failure mid-flight (epoch bump)
+// loses the packet.
+func (h *hopEvent) fire() {
+	c := h.ch
+	nw := c.net
+	if !h.arrived {
+		if c.epoch != h.epoch {
+			nw.freePacket(h.pkt)
+			nw.freeHop(h)
+			return
+		}
+		c.Sent++
+		c.BytesSent += int64(h.pkt.Size)
+		c.busyTime += h.txTime
+		nw.Stats.PacketsSent++
+		h.arrived = true
+		nw.eng.After(c.cfg.Delay, h.run)
+		if len(c.queue) > 0 {
+			c.startNext()
+		} else {
+			c.busy = false
+		}
+		return
+	}
+	pkt, ok := h.pkt, c.epoch == h.epoch
+	nw.freeHop(h)
+	if !ok {
+		nw.freePacket(pkt)
+		return
+	}
+	c.dst.receive(pkt)
+}
+
 // startNext begins serializing the head-of-line packet.
 func (c *channel) startNext() {
 	pkt := c.queue[0]
@@ -119,35 +221,16 @@ func (c *channel) startNext() {
 	c.queuedBytes -= pkt.Size
 	c.busy = true
 	txTime := simcore.DurationOfSeconds(float64(pkt.Size) * 8 / c.cfg.BandwidthBps)
-	eng := c.net.eng
-	epoch := c.epoch
-	// Serialization completes at now+txTime; the packet then propagates.
-	// A link failure mid-flight (epoch bump) loses the packet.
-	eng.After(txTime, func() {
-		if c.epoch != epoch {
-			return
-		}
-		c.Sent++
-		c.BytesSent += int64(pkt.Size)
-		c.busyTime += txTime
-		c.net.Stats.PacketsSent++
-		eng.After(c.cfg.Delay, func() {
-			if c.epoch != epoch {
-				return
-			}
-			c.dst.receive(pkt)
-		})
-		if len(c.queue) > 0 {
-			c.startNext()
-		} else {
-			c.busy = false
-		}
-	})
+	c.net.eng.After(txTime, c.net.newHop(c, pkt, txTime).run)
 }
 
-// sendPacket routes pkt out of node n toward its destination.
+// sendPacket routes pkt out of node n toward its destination, resolving
+// the destination's dense route-table index once for the packet's whole
+// journey. On error the packet is returned to the pool; callers must not
+// touch it afterwards.
 func (n *Node) sendPacket(pkt *Packet) error {
 	if n.crashed {
+		n.net.freePacket(pkt)
 		return fmt.Errorf("netsim: node %s is crashed", n.Name)
 	}
 	if pkt.ttl == 0 {
@@ -161,8 +244,15 @@ func (n *Node) sendPacket(pkt *Packet) error {
 	if !n.net.routed {
 		n.net.ComputeRoutes()
 	}
-	ifc, ok := n.routes[pkt.Dst]
-	if !ok {
+	dn := n.net.byAddr[pkt.Dst]
+	if dn == nil {
+		n.net.freePacket(pkt)
+		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
+	}
+	pkt.dstIdx = dn.idx
+	ifc := n.routeTab[dn.idx]
+	if ifc == nil {
+		n.net.freePacket(pkt)
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
 	}
 	ifc.ch.send(pkt)
@@ -173,6 +263,7 @@ func (n *Node) sendPacket(pkt *Packet) error {
 func (n *Node) receive(pkt *Packet) {
 	if n.crashed {
 		n.net.Stats.PacketsDropped++
+		n.net.freePacket(pkt)
 		return
 	}
 	if pkt.Dst != n.Addr {
@@ -180,12 +271,14 @@ func (n *Node) receive(pkt *Packet) {
 		if pkt.ttl <= 0 {
 			n.net.Stats.PacketsDropped++
 			n.net.eng.Tracef("netsim: %s TTL expired %v", n.Name, pkt)
+			n.net.freePacket(pkt)
 			return
 		}
-		ifc, ok := n.routes[pkt.Dst]
-		if !ok {
+		ifc := n.routeTab[pkt.dstIdx]
+		if ifc == nil {
 			n.net.Stats.PacketsDropped++
 			n.net.eng.Tracef("netsim: %s no route %v", n.Name, pkt)
+			n.net.freePacket(pkt)
 			return
 		}
 		n.Forwarded++
@@ -196,6 +289,7 @@ func (n *Node) receive(pkt *Packet) {
 	n.net.Stats.PacketsDelivered++
 	n.net.Stats.BytesDelivered += int64(pkt.Size)
 	n.demux(pkt)
+	n.net.freePacket(pkt)
 }
 
 // demux dispatches a locally delivered packet to its transport endpoint.

@@ -228,7 +228,8 @@ func (n *Node) Dial(p *simcore.Proc, dst Addr, dstPort Port) (*Conn, error) {
 
 func (c *Conn) sendSYN() {
 	c.synTries++
-	pkt := &Packet{
+	pkt := c.node.net.newPacket()
+	*pkt = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind: kindSYN, Size: HeaderBytes,
@@ -298,7 +299,8 @@ func (n *Node) onSYN(pkt *Packet) {
 		c.listener = l
 	}
 	// (Re)send SYN-ACK; duplicate SYNs (retries) are answered idempotently.
-	synack := &Packet{
+	synack := n.net.newPacket()
+	*synack = Packet{
 		Src: n.Addr, Dst: pkt.Src,
 		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
 		Kind: kindSYNACK, Size: HeaderBytes,
@@ -314,7 +316,8 @@ func (c *Conn) onSYNACK(pkt *Packet) {
 	c.cwnd = 2 * float64(c.mss)
 	c.estCond.Broadcast()
 	// Final handshake ACK; its arrival establishes the server side.
-	ack := &Packet{
+	ack := c.node.net.newPacket()
+	*ack = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind: kindACK, Size: HeaderBytes, Ack: -1,
@@ -409,7 +412,8 @@ func (c *Conn) maybeFIN() {
 	if !c.sendClosed || c.finSent || !c.established {
 		return
 	}
-	fin := &Packet{
+	fin := c.node.net.newPacket()
+	*fin = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind: kindFIN, Size: HeaderBytes,
@@ -498,7 +502,8 @@ type segTS struct {
 }
 
 func (c *Conn) sendSegment(seq int64, length int, retransmit bool) {
-	pkt := &Packet{
+	pkt := c.node.net.newPacket()
+	*pkt = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind:    kindData,
@@ -670,7 +675,8 @@ func (c *Conn) onData(pkt *Packet) {
 		}
 	}
 	// Cumulative ACK, echoing the freshest timestamp.
-	ack := &Packet{
+	ack := c.node.net.newPacket()
+	*ack = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind: kindACK, Size: HeaderBytes,

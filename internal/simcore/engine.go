@@ -11,8 +11,8 @@
 package simcore
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -49,36 +49,25 @@ func (t Time) String() string {
 }
 
 // DurationOfSeconds converts floating-point seconds to a Duration, rounding
-// to the nearest nanosecond.
+// to the nearest nanosecond (negative spans round to nearest too).
 func DurationOfSeconds(s float64) Duration {
-	return Duration(s*1e9 + 0.5)
+	return Duration(math.Round(s * 1e9))
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value — no per-event
+// pointer, no interface boxing — in a 4-ary min-heap ordered by (t, seq),
+// with a same-instant FIFO fast path for events scheduled at the current
+// time (see Engine.At).
 type event struct {
 	t   Time
 	seq int64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// before reports whether a sorts before b in the (time, seq) total order.
+// Sequence numbers are unique, so this is a strict total order.
+func (a *event) before(b *event) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulator. Create one with NewEngine, spawn
@@ -87,15 +76,25 @@ func (h *eventHeap) Pop() any {
 // An Engine is not safe for concurrent use from outside its own processes;
 // all interaction must happen from process goroutines or before/after Run.
 type Engine struct {
-	now     Time
-	heap    eventHeap
-	seq     int64
-	ctl     chan struct{} // a running process signals here when it parks or exits
-	procs   map[*Proc]struct{}
-	nprocs  int
-	rng     *rand.Rand
-	stopped bool
-	tracer  func(t Time, format string, args ...any)
+	now Time
+	// heap is a 4-ary min-heap of events with t strictly after now (plus,
+	// transiently, events at now that were scheduled before time advanced
+	// here). fifo holds events scheduled for the current instant while it
+	// executes: every heap entry at t == now predates (has a smaller seq
+	// than) every fifo entry, so the run loop drains same-time heap
+	// entries first and then the fifo in append order — exactly the
+	// (time, seq) total order, without heap traffic for same-instant
+	// bursts (Kill handshakes, Cond wakeups, After(0) chains).
+	heap     []event
+	fifo     []event
+	fifoHead int
+	seq      int64
+	ctl      chan struct{} // a running process signals here when it parks or exits
+	procs    map[*Proc]struct{}
+	nprocs   int
+	rng      *rand.Rand
+	stopped  bool
+	tracer   func(t Time, format string, args ...any)
 }
 
 // NewEngine returns an engine with a deterministic random source derived
@@ -127,12 +126,86 @@ func (e *Engine) Tracef(format string, args ...any) {
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error and panics: it would silently corrupt causality.
+//
+// Events at the current instant skip the heap entirely: they are appended
+// to a FIFO that the run loop drains in order. This preserves the (time,
+// seq) total order because time never advances while the FIFO is
+// non-empty, so each FIFO entry's seq exceeds that of any heap entry at
+// the same time.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("simcore: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, &event{t: t, seq: e.seq, fn: fn})
+	if t == e.now {
+		e.fifo = append(e.fifo, event{t: t, seq: e.seq, fn: fn})
+		return
+	}
+	e.heapPush(event{t: t, seq: e.seq, fn: fn})
+}
+
+// heapPush inserts ev into the 4-ary heap, sifting up with hole shifting.
+func (e *Engine) heapPush(ev event) {
+	e.heap = append(e.heap, event{})
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].before(&ev) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the fn reference
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places ev starting from the root, shifting smaller children up.
+func (e *Engine) siftDown(ev event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h[c].before(&h[m]) {
+				m = c
+			}
+		}
+		if !h[m].before(&ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+}
+
+// pending reports the number of scheduled events.
+func (e *Engine) pending() int {
+	return len(e.heap) + len(e.fifo) - e.fifoHead
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -173,13 +246,30 @@ func (e *Engine) Run() error {
 // RunUntil executes events with time ≤ limit, then stops. Events beyond the
 // limit remain unexecuted; parked processes are shut down as in Run.
 func (e *Engine) RunUntil(limit Time) error {
-	for !e.stopped && len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.t > limit {
-			// Out-of-range; nothing earlier can exist in a heap pop order.
-			heap.Push(&e.heap, ev)
+	for !e.stopped {
+		if e.fifoHead < len(e.fifo) {
+			// Heap entries at the current instant were scheduled before
+			// any FIFO entry and must run first.
+			if len(e.heap) > 0 && e.heap[0].t == e.now {
+				ev := e.heapPop()
+				ev.fn()
+				continue
+			}
+			ev := e.fifo[e.fifoHead]
+			e.fifo[e.fifoHead] = event{} // release the fn reference
+			e.fifoHead++
+			if e.fifoHead == len(e.fifo) {
+				e.fifo = e.fifo[:0]
+				e.fifoHead = 0
+			}
+			ev.fn()
+			continue
+		}
+		if len(e.heap) == 0 || e.heap[0].t > limit {
+			// Out-of-range events stay in the heap unexecuted.
 			break
 		}
+		ev := e.heapPop()
 		e.now = ev.t
 		ev.fn()
 	}
@@ -191,22 +281,29 @@ func (e *Engine) RunUntil(limit Time) error {
 	}
 	sort.Strings(blocked)
 	e.shutdown()
-	if len(blocked) > 0 && !e.stopped && len(e.heap) == 0 {
+	if len(blocked) > 0 && !e.stopped && e.pending() == 0 {
 		return &DeadlockError{Blocked: blocked}
 	}
 	return nil
 }
 
-// shutdown aborts all parked processes so their goroutines exit.
+// shutdown aborts all parked processes, in id order, so their goroutines
+// exit. Each pass snapshots and sorts the survivors once; deferred cleanup
+// in an aborted process may spawn new processes (always with higher ids),
+// which the next pass picks up — the same order the old per-abort min-id
+// rescan produced, without its O(n²) cost.
 func (e *Engine) shutdown() {
 	for len(e.procs) > 0 {
-		var p *Proc
-		for q := range e.procs {
-			if p == nil || q.id < p.id {
-				p = q
+		batch := make([]*Proc, 0, len(e.procs))
+		for p := range e.procs {
+			batch = append(batch, p)
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		for _, p := range batch {
+			if _, live := e.procs[p]; live {
+				e.abort(p)
 			}
 		}
-		e.abort(p)
 	}
 }
 

@@ -1,0 +1,130 @@
+package simcore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// burstScenario exercises every way events can pile up at a single instant:
+// At(now) from inside callbacks, After(0), nested same-instant chaining,
+// Kill delivered at the victim's own wakeup instant, Cond Signal/Broadcast
+// wakeups, a WaitTimeout expiring exactly when a Signal arrives, same-instant
+// Spawn, and Yield. It returns the full execution trace, including the
+// unwind order of processes aborted at shutdown.
+//
+// The trace is compared against a golden transcript recorded from the
+// reference (time, seq) total order, so any event-queue optimization — in
+// particular a same-instant FIFO fast path — cannot silently reorder bursts.
+func burstScenario() []string {
+	var trace []string
+	logf := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	eng := NewEngine(7)
+	cond := NewCond(eng)
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			defer func() { logf("w%d unwound t=%v", i, p.Now()) }()
+			for {
+				v := cond.Wait(p)
+				logf("w%d woke v=%v t=%v", i, v, p.Now())
+			}
+		})
+	}
+	eng.Spawn("wt", func(p *Proc) {
+		defer func() { logf("wt unwound t=%v", p.Now()) }()
+		// The timeout expires at the exact instant the driver's burst runs:
+		// whichever was scheduled first must win the race for the waiter.
+		v, timedOut := cond.WaitTimeout(p, Microsecond)
+		logf("wt woke v=%v timedOut=%v t=%v", v, timedOut, p.Now())
+		for {
+			v := cond.Wait(p)
+			logf("wt rewoke v=%v t=%v", v, p.Now())
+		}
+	})
+	victim := eng.Spawn("victim", func(p *Proc) {
+		defer func() { logf("victim unwound t=%v", p.Now()) }()
+		// Sleeps past the burst instant, so the Kill at t=1µs aborts a
+		// parked process and must discard its pending 2µs wakeup.
+		p.Sleep(2 * Microsecond)
+		logf("victim survived")
+	})
+	eng.Spawn("driver", func(p *Proc) {
+		defer func() { logf("driver unwound t=%v", p.Now()) }()
+		p.Sleep(Microsecond)
+		// First burst, all at t=1µs.
+		eng.At(eng.Now(), func() { logf("at-a t=%v", eng.Now()) })
+		eng.After(0, func() { logf("after0-b t=%v", eng.Now()) })
+		cond.Signal("s1")
+		eng.At(eng.Now(), func() {
+			logf("at-c t=%v", eng.Now())
+			cond.Signal("s2")
+			eng.After(0, func() {
+				logf("nested-after0 t=%v", eng.Now())
+				eng.At(eng.Now(), func() { logf("nested-at t=%v", eng.Now()) })
+			})
+		})
+		eng.Kill(victim)
+		logf("broadcast woke %d", cond.Broadcast())
+		eng.After(Microsecond, func() {
+			logf("next-instant t=%v", eng.Now())
+			eng.At(eng.Now(), func() { logf("at-d t=%v", eng.Now()) })
+		})
+		p.Yield()
+		logf("driver resumed t=%v", p.Now())
+		eng.Spawn("late", func(q *Proc) { logf("late ran t=%v", q.Now()) })
+		p.Sleep(Microsecond)
+		logf("driver done t=%v", p.Now())
+	})
+	err := eng.Run()
+	logf("run err=%v", err)
+	return trace
+}
+
+// burstGolden is the transcript of burstScenario under the engine's
+// reference (time, seq) event order. Recorded before the indexed-heap /
+// same-instant-FIFO optimization; it must never change.
+var burstGolden = []string{
+	"wt woke v=<nil> timedOut=true t=1µs",
+	"broadcast woke 3",
+	"at-a t=1µs",
+	"after0-b t=1µs",
+	"w0 woke v=s1 t=1µs",
+	"at-c t=1µs",
+	"victim unwound t=1µs",
+	"w1 woke v=<nil> t=1µs",
+	"w2 woke v=<nil> t=1µs",
+	"wt rewoke v=<nil> t=1µs",
+	"driver resumed t=1µs",
+	"w0 woke v=s2 t=1µs",
+	"nested-after0 t=1µs",
+	"late ran t=1µs",
+	"nested-at t=1µs",
+	"next-instant t=2µs",
+	"driver done t=2µs",
+	"driver unwound t=2µs",
+	"at-d t=2µs",
+	"w0 unwound t=2µs",
+	"w1 unwound t=2µs",
+	"w2 unwound t=2µs",
+	"wt unwound t=2µs",
+	"run err=simcore: deadlock: 4 process(es) blocked forever: w0, w1, w2, wt",
+}
+
+// TestSameInstantBurstOrder pins the event order of same-timestamp bursts:
+// the trace must match the golden transcript exactly and be identical
+// across repeated runs.
+func TestSameInstantBurstOrder(t *testing.T) {
+	first := burstScenario()
+	if got, want := strings.Join(first, "\n"), strings.Join(burstGolden, "\n"); got != want {
+		t.Errorf("burst trace diverged from golden order:\ngot:\n%s\n\nwant:\n%s", got, want)
+	}
+	for run := 1; run < 5; run++ {
+		again := burstScenario()
+		if got, want := strings.Join(again, "\n"), strings.Join(first, "\n"); got != want {
+			t.Errorf("run %d trace differs from run 0:\ngot:\n%s\n\nwant:\n%s", run, got, want)
+		}
+	}
+}
