@@ -25,6 +25,7 @@ import (
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
+	"microgrid/internal/trace"
 )
 
 // printOnce guards table printing so -benchtime iterations don't spam.
@@ -319,6 +320,28 @@ func BenchmarkExtraCrossTraffic(b *testing.B) {
 // the scalability budget the paper's future-work section worries about.
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	eng := simcore.NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(simcore.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.After(simcore.Microsecond, tick)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineEventThroughputTraceOff is the event-throughput bench
+// with a recorder attached but every category masked off: it pins the
+// cost of the disabled-tracing fast path on the dispatch hot loop, which
+// must stay within the regression gate of the untraced bench.
+func BenchmarkEngineEventThroughputTraceOff(b *testing.B) {
+	eng := simcore.NewEngine(1)
+	eng.SetRecorder(trace.NewRecorder(0, 0))
 	n := 0
 	var tick func()
 	tick = func() {

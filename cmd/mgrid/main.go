@@ -26,21 +26,25 @@ import (
 	"fmt"
 	"os"
 	"path"
+	"strings"
 
 	"microgrid"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		expID   = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
-		all     = flag.Bool("all", false, "run every experiment")
-		runGlob = flag.String("run", "", "run experiments whose id matches this glob (e.g. 'chaos-*')")
-		quick   = flag.Bool("quick", false, "reduced problem sizes for fast runs")
-		csv     = flag.Bool("csv", false, "emit tables as CSV instead of text")
-		jobs    = flag.Int("j", 1, "number of experiments to run concurrently")
-		timeout = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
-		outDir  = flag.String("out", "", "directory for campaign.json and timings.csv artifacts")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		expID    = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
+		all      = flag.Bool("all", false, "run every experiment")
+		runGlob  = flag.String("run", "", "run experiments whose id matches this glob (e.g. 'chaos-*')")
+		quick    = flag.Bool("quick", false, "reduced problem sizes for fast runs")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of text")
+		jobs     = flag.Int("j", 1, "number of experiments to run concurrently")
+		timeout  = flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
+		outDir   = flag.String("out", "", "directory for campaign.json and timings.csv artifacts")
+		traceOut = flag.String("trace", "", "write a structured trace of the experiment (.jsonl = compact stream, anything else = Chrome/Perfetto JSON)")
+		traceCat = flag.String("trace-categories", "all", "trace categories, e.g. 'net,mpi' or 'all,-engine'")
+		traceBuf = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default 65536)")
 	)
 	flag.Parse()
 
@@ -92,6 +96,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceOut != "" {
+		// A traced invocation must select exactly one experiment: the
+		// export is labeled by build order, which is only deterministic
+		// (and therefore byte-identical at any -j) within one experiment.
+		if len(tasks) != 1 {
+			fmt.Fprintf(os.Stderr, "error: -trace requires exactly one experiment (got %d); use -experiment or a -run glob matching one id\n", len(tasks))
+			os.Exit(1)
+		}
+		mask, err := microgrid.ParseTraceCategories(*traceCat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		microgrid.EnableTracing(microgrid.TraceConfig{Mask: mask, BufSize: *traceBuf})
+	}
+
 	results := microgrid.RunCampaign(context.Background(), tasks, microgrid.CampaignOptions{
 		Workers: *jobs,
 		Timeout: *timeout,
@@ -128,6 +148,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error writing artifacts:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *traceOut != "" {
+		write := microgrid.WriteTraceChrome
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			write = microgrid.WriteTraceJSONL
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error writing trace:", err)
+			os.Exit(1)
+		}
+		werr := write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "error writing trace:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
 	}
 
 	if len(failed) > 0 {

@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"microgrid/internal/chaos"
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
+	"microgrid/internal/trace"
 )
 
 func main() {
@@ -31,10 +33,44 @@ func main() {
 		to       = flag.String("to", "", "destination host")
 		bytes    = flag.Int("bytes", 1<<20, "transfer size for the throughput probe")
 		chaosF   = flag.String("chaos", "", "chaos schedule file to replay against the topology")
+		traceOut = flag.String("trace", "", "write a structured trace (.jsonl = compact stream, anything else = Chrome/Perfetto JSON)")
+		traceCat = flag.String("trace-categories", "all", "trace categories, e.g. 'net,link'")
+		traceBuf = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default 65536)")
 	)
 	flag.Parse()
 
 	eng := simcore.NewEngine(1)
+	writeTrace := func() {}
+	if *traceOut != "" {
+		mask, err := trace.ParseCategories(*traceCat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rec := trace.NewRecorder(*traceBuf, mask)
+		rec.Label = "mgridnet"
+		eng.SetRecorder(rec)
+		writeTrace = func() {
+			write := trace.WriteChrome
+			if strings.HasSuffix(*traceOut, ".jsonl") {
+				write = trace.WriteJSONL
+			}
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error writing trace:", err)
+				os.Exit(1)
+			}
+			werr := write(f, []trace.Run{rec.Snapshot()})
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "error writing trace:", werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}
+	}
 	var nw *netsim.Network
 	var err error
 	switch {
@@ -111,6 +147,7 @@ func main() {
 				os.Exit(1)
 			}
 			reportChaos()
+			writeTrace()
 		}
 		return
 	}
@@ -160,6 +197,7 @@ func main() {
 	}
 	if done == 0 {
 		reportChaos() // the faults are usually why the probe died
+		writeTrace()
 		fmt.Fprintln(os.Stderr, "probe failed")
 		os.Exit(1)
 	}
@@ -178,4 +216,5 @@ func main() {
 		}
 	}
 	reportChaos()
+	writeTrace()
 }

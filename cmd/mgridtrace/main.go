@@ -1,0 +1,110 @@
+// Command mgridtrace analyzes structured trace streams written by
+// mgrid -trace / mgridnet -trace (the compact JSONL format).
+//
+// Usage:
+//
+//	mgridtrace summary trace.jsonl          # event counts per category/name + dropped
+//	mgridtrace critical-path trace.jsonl    # longest MPI dependency chain
+//	mgridtrace links trace.jsonl            # per-link utilization timeline
+//	mgridtrace hosts trace.jsonl            # per-host CPU busy fractions
+//	mgridtrace chrome trace.jsonl out.json  # convert to Chrome/Perfetto JSON
+//
+// Reading "-" takes the stream from stdin. All output is deterministic
+// for a given input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"microgrid/internal/trace"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mgridtrace <subcommand> [flags] <trace.jsonl>
+
+subcommands:
+  summary        event counts per category and name, buffer and drop stats
+  critical-path  longest dependency chain through the MPI events
+  links          per-link traffic, busy fraction and utilization timeline
+  hosts          per-host CPU busy fraction from scheduler slices
+  chrome         convert JSONL to Chrome trace-event JSON (Perfetto)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	sub := os.Args[1]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	var (
+		maxSteps = fs.Int("max-steps", 40, "critical-path: steps to print (0 = all)")
+		buckets  = fs.Int("buckets", 20, "links: timeline buckets")
+	)
+	fs.Parse(os.Args[2:])
+	if fs.NArg() < 1 {
+		usage()
+	}
+
+	runs, err := readRuns(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	// Analyses consume (T, Seq)-ordered events; the wire carries emission
+	// order (spans appear when they end).
+	for i := range runs {
+		trace.SortByTime(runs[i].Events)
+	}
+
+	switch sub {
+	case "summary":
+		fmt.Print(trace.Summary(runs))
+	case "critical-path":
+		for _, run := range runs {
+			fmt.Print(trace.FormatCriticalPath(run, *maxSteps))
+		}
+	case "links":
+		for _, run := range runs {
+			fmt.Print(trace.LinkReport(run, *buckets))
+		}
+	case "hosts":
+		for _, run := range runs {
+			fmt.Print(trace.HostReport(run))
+		}
+	case "chrome":
+		out := os.Stdout
+		if fs.NArg() >= 2 {
+			f, err := os.Create(fs.Arg(1))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := trace.WriteChrome(out, runs); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func readRuns(path string) ([]trace.Run, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadJSONL(r)
+}

@@ -7,6 +7,7 @@ import (
 
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 )
 
@@ -60,6 +61,13 @@ func (in *Injector) Timeline() []TimelineEntry { return in.timeline }
 
 func (in *Injector) record(at simcore.Time, action, target, detail string) {
 	in.timeline = append(in.timeline, TimelineEntry{At: at, Action: action, Target: target, Detail: detail})
+	if rec := in.eng.Recorder(); rec.Enabled(trace.CatChaos) {
+		d := target
+		if detail != "" {
+			d += " " + detail
+		}
+		rec.Event(trace.CatChaos, action, trace.Attr{Detail: d})
+	}
 }
 
 // Arm validates every event against the simulation, resolves jitter

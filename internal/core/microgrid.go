@@ -9,6 +9,7 @@ import (
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
+	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 	"microgrid/internal/vtime"
 )
@@ -46,6 +47,10 @@ type BuildConfig struct {
 	// FlowNetwork selects analytic flow-level network modeling instead of
 	// packet-level simulation (faster, lower fidelity).
 	FlowNetwork bool
+	// Trace, when non-nil, attaches a structured trace recorder to this
+	// instance's engine. Nil falls back to the global tracing switch (see
+	// EnableTracing), which cmd/mgrid's -trace flag arms.
+	Trace *TraceConfig
 }
 
 // MicroGrid is an assembled simulation: the virtual grid, its GIS, and
@@ -74,6 +79,13 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	configName := cfg.Target.Name
 	if cfg.Emulation != nil {
 		configName += " (emulated)"
+	}
+	if cfg.Trace != nil {
+		rec := trace.NewRecorder(cfg.Trace.BufSize, cfg.Trace.Mask)
+		rec.Label = configName
+		eng.SetRecorder(rec)
+	} else if rec := newGlobalRecorder(configName); rec != nil {
+		eng.SetRecorder(rec)
 	}
 
 	// Virtual host set.

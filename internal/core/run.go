@@ -8,6 +8,7 @@ import (
 	"microgrid/internal/mpi"
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 )
 
@@ -118,12 +119,23 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 		if err := c.Barrier(); err != nil {
 			return err
 		}
+		// Rank lifecycle flows through the structured recorder — the
+		// single trace path — rather than any printf-style formatting.
+		rec := ctx.Proc.Proc().Engine().Recorder()
+		if rec.Enabled(trace.CatProc) {
+			rec.Event(trace.CatProc, "rank-start", trace.Attr{
+				Host: ctx.Proc.Host().Name, Rank: ctx.Rank, Detail: name})
+		}
 		start := ctx.Proc.Gettimeofday()
 		if err := fn(&AppContext{Comm: c, Proc: ctx.Proc, Collector: col}); err != nil {
 			return err
 		}
 		if err := c.Barrier(); err != nil {
 			return err
+		}
+		if rec.Enabled(trace.CatProc) {
+			rec.Event(trace.CatProc, "rank-done", trace.Attr{
+				Host: ctx.Proc.Host().Name, Rank: ctx.Rank, Detail: name})
 		}
 		report.PerRank[ctx.Rank] = ctx.Proc.Gettimeofday().Sub(start)
 		return nil

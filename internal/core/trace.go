@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"microgrid/internal/trace"
+)
+
+// TraceConfig enables structured tracing on built MicroGrids.
+type TraceConfig struct {
+	// Mask selects the recorded categories (trace.CatAll for everything).
+	Mask trace.Category
+	// BufSize is the ring capacity in events (trace.DefaultBufSize if 0).
+	BufSize int
+}
+
+// Global tracing: cmd/mgrid's -trace flags arm this once before the
+// campaign runs, and every MicroGrid Built afterwards gets its own
+// recorder, labeled by build order. Labels are assigned under a lock but
+// the *contents* of each recorder are produced single-threaded by its
+// own engine, so exports are deterministic whenever the set of builds is
+// — which is why traced campaigns are restricted to one experiment.
+
+var (
+	traceMu   sync.Mutex
+	traceCfg  *TraceConfig
+	traceRecs []*trace.Recorder
+)
+
+// EnableTracing arms global tracing for all subsequent Builds.
+func EnableTracing(cfg TraceConfig) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	c := cfg
+	traceCfg = &c
+	traceRecs = nil
+}
+
+// TracingEnabled reports whether global tracing is armed.
+func TracingEnabled() bool {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceCfg != nil
+}
+
+// ResetTracing disarms global tracing and drops collected recorders.
+func ResetTracing() {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceCfg = nil
+	traceRecs = nil
+}
+
+// newGlobalRecorder hands out the next recorder when global tracing is
+// armed (nil otherwise). Labels carry the build ordinal so exports sort
+// into build order.
+func newGlobalRecorder(configName string) *trace.Recorder {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if traceCfg == nil {
+		return nil
+	}
+	r := trace.NewRecorder(traceCfg.BufSize, traceCfg.Mask)
+	r.Label = fmt.Sprintf("%02d:%s", len(traceRecs), configName)
+	traceRecs = append(traceRecs, r)
+	return r
+}
+
+// TraceSnapshots returns every collected recorder's contents, in build
+// order.
+func TraceSnapshots() []trace.Run {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	runs := make([]trace.Run, 0, len(traceRecs))
+	for _, r := range traceRecs {
+		runs = append(runs, r.Snapshot())
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Label < runs[j].Label })
+	return runs
+}
+
+// WriteTraceJSONL writes the collected runs as compact JSONL.
+func WriteTraceJSONL(w io.Writer) error { return trace.WriteJSONL(w, TraceSnapshots()) }
+
+// WriteTraceChrome writes the collected runs as Chrome trace-event JSON
+// (Perfetto / chrome://tracing).
+func WriteTraceChrome(w io.Writer) error { return trace.WriteChrome(w, TraceSnapshots()) }

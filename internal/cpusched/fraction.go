@@ -2,6 +2,7 @@ package cpusched
 
 import (
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // FractionController is the paper's local MicroGrid CPU scheduler daemon
@@ -121,6 +122,10 @@ func (fc *FractionController) Run(p *simcore.Proc) {
 			}
 			if fc.OnQuantum != nil {
 				fc.OnQuantum(start, stop.Sub(start))
+			}
+			if rec := fc.Host.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+				rec.Span(trace.CatCPU, "quantum", int64(start), int64(stop.Sub(start)),
+					trace.Attr{Host: fc.Host.Name, Detail: fc.Job.Name})
 			}
 		} else {
 			// Ahead of target: idle one quantum.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // DefaultQuantum is the Linux timesharing timeslice the paper used.
@@ -384,6 +385,12 @@ func (h *Host) endSlice() {
 	}
 	if t.OnSliceEnd != nil && ran > 0 {
 		t.OnSliceEnd(h.sliceStart, ran)
+	}
+	if ran > 0 {
+		if rec := h.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+			rec.Span(trace.CatCPU, "slice", int64(h.sliceStart), int64(ran),
+				trace.Attr{Host: h.Name, Detail: t.Name})
+		}
 	}
 }
 

@@ -5,6 +5,8 @@ package cpusched
 // killed process's queued demand can be cancelled, and a competing
 // compute-bound process can be started to steal cycles.
 
+import "microgrid/internal/trace"
+
 // Fail marks the host failed: the in-progress slice ends and no task is
 // scheduled until Restore. Task state (registrations, counters, pending
 // demand) is preserved but frozen; the virtual layer crashes the
@@ -19,6 +21,9 @@ func (h *Host) Fail() {
 		h.idle = true
 		h.idleSince = h.eng.Now()
 	}
+	if rec := h.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+		rec.Event(trace.CatCPU, "host-fail", trace.Attr{Host: h.Name})
+	}
 }
 
 // Failed reports whether the host is failed.
@@ -30,6 +35,9 @@ func (h *Host) Restore() {
 		return
 	}
 	h.failed = false
+	if rec := h.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+		rec.Event(trace.CatCPU, "host-restore", trace.Attr{Host: h.Name})
+	}
 	h.maybeSchedule()
 }
 
@@ -52,6 +60,9 @@ func (t *Task) CancelPending() {
 // competing compute-bound process. Stop it with SetBusyLoop(false) on
 // the returned task.
 func (h *Host) StartCompetitor(name string) *Task {
+	if rec := h.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+		rec.Event(trace.CatCPU, "load-inject", trace.Attr{Host: h.Name, Detail: name})
+	}
 	t := h.NewTask(name)
 	t.SetBusyLoop(true)
 	return t

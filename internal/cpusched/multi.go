@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // MultiController is the per-physical-host MicroGrid scheduler daemon: it
@@ -124,6 +125,10 @@ func (mc *MultiController) Run(p *simcore.Proc) {
 		job.used += stop.Sub(start)
 		if job.OnQuantum != nil {
 			job.OnQuantum(start, stop.Sub(start))
+		}
+		if rec := mc.Host.eng.Recorder(); rec.Enabled(trace.CatCPU) {
+			rec.Span(trace.CatCPU, "quantum", int64(start), int64(stop.Sub(start)),
+				trace.Attr{Host: mc.Host.Name, Detail: job.Task.Name})
 		}
 	}
 }

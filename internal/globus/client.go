@@ -7,6 +7,7 @@ import (
 	"microgrid/internal/gis"
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 )
 
@@ -59,6 +60,10 @@ func (cl *Client) Submit(gatekeeperHost string, port netsim.Port, rsl *RSL, rank
 	if err := conn.Send(len(req.rslText)+64, req); err != nil {
 		return nil, fmt.Errorf("globus: submit to %s: %w", gatekeeperHost, err)
 	}
+	if r := cl.Proc.Proc().Engine().Recorder(); r.Enabled(trace.CatGlobus) {
+		r.Event(trace.CatGlobus, "submit", trace.Attr{
+			Host: gatekeeperHost, Detail: fmt.Sprintf("rank %d/%d", rank, count)})
+	}
 	return &JobHandle{Host: gatekeeperHost, conn: conn, proc: cl.Proc, State: StatePending}, nil
 }
 
@@ -74,6 +79,9 @@ func (j *JobHandle) NextState() (string, error) {
 	}
 	j.State = st.state
 	j.FailReason = st.err
+	if r := j.proc.Proc().Engine().Recorder(); r.Enabled(trace.CatGlobus) {
+		r.Event(trace.CatGlobus, "job-state", trace.Attr{Host: j.Host, Detail: st.state})
+	}
 	return st.state, nil
 }
 
@@ -110,6 +118,9 @@ func (j *JobHandle) NextStateTimeout(d simcore.Duration) (state string, timedOut
 	}
 	j.State = st.state
 	j.FailReason = st.err
+	if r := j.proc.Proc().Engine().Recorder(); r.Enabled(trace.CatGlobus) {
+		r.Event(trace.CatGlobus, "job-state", trace.Attr{Host: j.Host, Detail: st.state})
+	}
 	return st.state, false, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"microgrid/internal/gis"
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // SubmitRetryPolicy governs RunMPIJobResilient: how long to wait for a
@@ -68,6 +69,10 @@ func (cl *Client) RunMPIJobResilient(server *gis.Server, configName, executable 
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		out.Attempts = attempt
+		if r := eng.Recorder(); r.Enabled(trace.CatGlobus) {
+			r.Event(trace.CatGlobus, "attempt", trace.Attr{
+				Detail: fmt.Sprintf("%s attempt %d/%d", executable, attempt, pol.MaxAttempts)})
+		}
 		avail := DiscoverHosts(server, configName)
 		if len(avail) == 0 {
 			lastErr = fmt.Errorf("globus: no live gatekeepers for config %q", configName)
@@ -86,11 +91,18 @@ func (cl *Client) RunMPIJobResilient(server *gis.Server, configName, executable 
 					err = mj.WaitAll()
 				}
 				if err == nil {
+					if r := eng.Recorder(); r.Enabled(trace.CatGlobus) {
+						r.Event(trace.CatGlobus, "job-ok", trace.Attr{
+							Detail: fmt.Sprintf("%s after %d attempt(s)", executable, attempt)})
+					}
 					return out, nil
 				}
 				mj.Cancel()
 			}
 			lastErr = err
+		}
+		if r := eng.Recorder(); r.Enabled(trace.CatGlobus) && lastErr != nil {
+			r.Event(trace.CatGlobus, "attempt-fail", trace.Attr{Detail: lastErr.Error()})
 		}
 		if attempt == pol.MaxAttempts {
 			break
@@ -101,6 +113,9 @@ func (cl *Client) RunMPIJobResilient(server *gis.Server, configName, executable 
 			if wait < 0 {
 				wait = 0
 			}
+		}
+		if r := eng.Recorder(); r.Enabled(trace.CatGlobus) {
+			r.Event(trace.CatGlobus, "backoff", trace.Attr{Detail: wait.String()})
 		}
 		cl.Proc.Sleep(wait)
 		backoff *= 2

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"math"
+
+	"microgrid/internal/trace"
 )
 
 // Internal tags for collective operations. User tags are non-negative, so
@@ -24,6 +26,7 @@ func (c *Comm) Barrier() error {
 	if n == 1 {
 		return nil
 	}
+	start := c.proc.Proc().Now()
 	rounds := int(math.Ceil(math.Log2(float64(n))))
 	for k := 0; k < rounds; k++ {
 		dist := 1 << k
@@ -33,6 +36,11 @@ func (c *Comm) Barrier() error {
 		if _, _, err := c.Sendrecv(to, tag, 8, nil, from, tag); err != nil {
 			return fmt.Errorf("mpi: barrier round %d: %w", k, err)
 		}
+	}
+	if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+		now := c.proc.Proc().Now()
+		rec.Span(trace.CatMPI, "barrier", int64(start), int64(now.Sub(start)), trace.Attr{
+			Host: c.proc.Host().Name, Rank: c.rank, Peer: c.rank})
 	}
 	return nil
 }

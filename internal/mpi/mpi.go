@@ -16,6 +16,7 @@ import (
 
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 )
 
@@ -60,6 +61,9 @@ type Comm struct {
 
 // Rank returns this process's rank.
 func (c *Comm) Rank() int { return c.rank }
+
+// rec returns the engine's trace recorder (nil-safe, may be nil).
+func (c *Comm) rec() *trace.Recorder { return c.proc.Proc().Engine().Recorder() }
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.size }
@@ -174,6 +178,10 @@ func (c *Comm) sendFrom(vp *virtual.Process, dst, tag, size int, data any) error
 	env := &envelope{src: c.rank, tag: tag, size: size, data: data}
 	c.Sent++
 	c.BytesSent += int64(size)
+	if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+		rec.Event(trace.CatMPI, "send", trace.Attr{
+			Host: c.proc.Host().Name, Rank: c.rank, Peer: dst, Bytes: int64(size)})
+	}
 	if dst == c.rank {
 		vp.ChargeMessage(size)
 		c.inbox = append(c.inbox, env)
@@ -202,6 +210,10 @@ func (c *Comm) Recv(src, tag int) (any, Status, error) {
 				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
 				c.Received++
 				c.proc.ChargeMessage(env.size)
+				if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+					rec.Event(trace.CatMPI, "recv", trace.Attr{
+						Host: c.proc.Host().Name, Rank: c.rank, Peer: env.src, Bytes: int64(env.size)})
+				}
 				return env.data, Status{Source: env.src, Tag: env.tag, Size: env.size}, nil
 			}
 		}
@@ -228,14 +240,26 @@ func (c *Comm) RecvTimeout(src, tag int, d simcore.Duration) (any, Status, bool,
 				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
 				c.Received++
 				c.proc.ChargeMessage(env.size)
+				if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+					rec.Event(trace.CatMPI, "recv", trace.Attr{
+						Host: c.proc.Host().Name, Rank: c.rank, Peer: env.src, Bytes: int64(env.size)})
+				}
 				return env.data, Status{Source: env.src, Tag: env.tag, Size: env.size}, false, nil
 			}
 		}
 		remain := deadline.Sub(c.proc.Gettimeofday())
 		if remain <= 0 {
+			if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+				rec.Event(trace.CatMPI, "recv-timeout", trace.Attr{
+					Host: c.proc.Host().Name, Rank: c.rank, Peer: src})
+			}
 			return nil, Status{}, true, nil
 		}
 		if _, timedOut := c.arrived.WaitTimeout(c.proc.Proc(), c.proc.ToPhysical(remain)); timedOut {
+			if rec := c.rec(); rec.Enabled(trace.CatMPI) {
+				rec.Event(trace.CatMPI, "recv-timeout", trace.Attr{
+					Host: c.proc.Host().Name, Rank: c.rank, Peer: src})
+			}
 			return nil, Status{}, true, nil
 		}
 	}

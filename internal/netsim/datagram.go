@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"microgrid/internal/trace"
+)
 
 // DatagramHandler receives reassembled datagrams. size is the application
 // payload size (headers excluded); payload is the opaque metadata passed to
@@ -78,7 +82,11 @@ var _ = dgramKey{} // used below
 func (n *Node) deliverDatagram(pkt *Packet) {
 	h, ok := n.handlers[pkt.DstPort]
 	if !ok {
-		n.net.eng.Tracef("netsim: %s no datagram handler on port %d", n.Name, pkt.DstPort)
+		if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			rec.Event(trace.CatNet, "drop", trace.Attr{
+				Host: n.Name, Bytes: int64(pkt.Size),
+				Detail: fmt.Sprintf("no handler on port %d", pkt.DstPort)})
+		}
 		return
 	}
 	if pkt.FragTotal <= 1 {

@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"fmt"
 	"sort"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // Link and node failure injection: Grid environments "exhibit extreme
@@ -24,6 +26,13 @@ func (l *Link) SetDown(down bool) {
 	l.ab.setDown(down)
 	l.ba.setDown(down)
 	nw := l.A.net
+	if rec := nw.eng.Recorder(); rec.Enabled(trace.CatLink) {
+		name := "link-up"
+		if down {
+			name = "link-down"
+		}
+		rec.Event(trace.CatLink, name, trace.Attr{Link: l.ab.name})
+	}
 	nw.ComputeRoutes()
 }
 
@@ -81,6 +90,12 @@ func (l *Link) Degrade(bwFactor, delayFactor, loss float64) {
 	if loss >= 0 {
 		cfg.LossProb = loss
 	}
+	if rec := l.A.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+		rec.Event(trace.CatLink, "link-degrade", trace.Attr{
+			Link:   l.ab.name,
+			Detail: fmt.Sprintf("bw=%.3g delay=%v loss=%.3g", cfg.BandwidthBps, cfg.Delay, cfg.LossProb),
+		})
+	}
 	l.applyConfig(cfg)
 }
 
@@ -94,6 +109,9 @@ func (l *Link) Restore() {
 	}
 	cfg := *l.orig
 	l.orig = nil
+	if rec := l.A.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+		rec.Event(trace.CatLink, "link-restore", trace.Attr{Link: l.ab.name})
+	}
 	l.applyConfig(cfg)
 }
 
@@ -115,6 +133,13 @@ func (n *Node) SetCrashed(crashed bool) {
 		return
 	}
 	n.crashed = crashed
+	if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+		name := "node-restore"
+		if crashed {
+			name = "node-crash"
+		}
+		rec.Event(trace.CatLink, name, trace.Attr{Host: n.Name})
+	}
 	if !crashed {
 		return
 	}

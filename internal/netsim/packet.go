@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // packetKind discriminates transport packet types.
@@ -126,14 +127,20 @@ func (c *channel) send(pkt *Packet) {
 	if c.cfg.LossProb > 0 && c.net.eng.Rand().Float64() < c.cfg.LossProb {
 		c.Lost++
 		c.net.Stats.PacketsLost++
-		c.net.eng.Tracef("netsim: %s LOSS %v", c.name, pkt)
+		if rec := c.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			rec.Event(trace.CatNet, "loss", trace.Attr{
+				Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String()})
+		}
 		c.net.freePacket(pkt)
 		return
 	}
 	if c.queuedBytes+pkt.Size > c.cfg.QueueBytes {
 		c.Dropped++
 		c.net.Stats.PacketsDropped++
-		c.net.eng.Tracef("netsim: %s DROP %v (queue full)", c.name, pkt)
+		if rec := c.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			rec.Event(trace.CatNet, "drop", trace.Attr{
+				Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " queue full"})
+		}
 		c.net.freePacket(pkt)
 		return
 	}
@@ -196,6 +203,11 @@ func (h *hopEvent) fire() {
 		c.BytesSent += int64(h.pkt.Size)
 		c.busyTime += h.txTime
 		nw.Stats.PacketsSent++
+		if rec := nw.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			// Serialization occupies [now-txTime, now]; propagation follows.
+			rec.Span(trace.CatNet, "hop", int64(nw.eng.Now())-int64(h.txTime), int64(h.txTime),
+				trace.Attr{Link: c.name, Bytes: int64(h.pkt.Size), Detail: h.pkt.Kind.String()})
+		}
 		h.arrived = true
 		nw.eng.After(c.cfg.Delay, h.run)
 		if len(c.queue) > 0 {
@@ -270,14 +282,20 @@ func (n *Node) receive(pkt *Packet) {
 		pkt.ttl--
 		if pkt.ttl <= 0 {
 			n.net.Stats.PacketsDropped++
-			n.net.eng.Tracef("netsim: %s TTL expired %v", n.Name, pkt)
+			if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+				rec.Event(trace.CatNet, "drop", trace.Attr{
+					Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " ttl expired"})
+			}
 			n.net.freePacket(pkt)
 			return
 		}
 		ifc := n.routeTab[pkt.dstIdx]
 		if ifc == nil {
 			n.net.Stats.PacketsDropped++
-			n.net.eng.Tracef("netsim: %s no route %v", n.Name, pkt)
+			if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+				rec.Event(trace.CatNet, "drop", trace.Attr{
+					Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " no route"})
+			}
 			n.net.freePacket(pkt)
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // Transport tuning constants.
@@ -263,7 +264,10 @@ func (n *Node) deliverTCP(pkt *Packet) {
 	key := connKey{local: pkt.DstPort, remote: pkt.Src, remotePort: pkt.SrcPort}
 	c, ok := n.conns[key]
 	if !ok {
-		n.net.eng.Tracef("netsim: %s no conn for %v", n.Name, pkt)
+		if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			rec.Event(trace.CatNet, "drop", trace.Attr{
+				Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " no conn"})
+		}
 		return
 	}
 	switch pkt.Kind {

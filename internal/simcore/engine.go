@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"microgrid/internal/trace"
 )
 
 // Time is a point in simulated time, in nanoseconds from the start of the
@@ -94,7 +96,7 @@ type Engine struct {
 	nprocs   int
 	rng      *rand.Rand
 	stopped  bool
-	tracer   func(t Time, format string, args ...any)
+	rec      *trace.Recorder
 }
 
 // NewEngine returns an engine with a deterministic random source derived
@@ -114,13 +116,55 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulation processes or event callbacks, never concurrently.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// SetTracer installs a debug trace function (nil disables tracing).
-func (e *Engine) SetTracer(fn func(t Time, format string, args ...any)) { e.tracer = fn }
+// SetRecorder attaches a structured trace recorder (nil detaches). The
+// recorder's clock is bound to the engine's virtual time, so every record
+// carries the simulated timestamp of its emission.
+func (e *Engine) SetRecorder(r *trace.Recorder) {
+	e.rec = r
+	if r != nil {
+		r.SetClock(func() int64 { return int64(e.now) })
+	}
+}
 
-// Tracef emits a trace line if a tracer is installed.
+// Recorder returns the attached trace recorder. It may be nil; trace
+// emission methods are nil-safe, so call sites can use it unguarded:
+//
+//	if rec := eng.Recorder(); rec.Enabled(trace.CatNet) { rec.Event(...) }
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// SetTracer installs a printf-style debug trace hook (nil disables).
+//
+// Deprecated: SetTracer is a compatibility shim over the structured
+// recorder: it enables the log category on the engine's recorder
+// (attaching one when absent) and replays log records to fn via the
+// recorder sink. New code should attach a recorder with SetRecorder and
+// emit typed events.
+func (e *Engine) SetTracer(fn func(t Time, format string, args ...any)) {
+	if fn == nil {
+		if e.rec != nil {
+			e.rec.SetSink(nil)
+			e.rec.Disable(trace.CatLog)
+		}
+		return
+	}
+	if e.rec == nil {
+		e.SetRecorder(trace.NewRecorder(0, 0))
+	}
+	e.rec.Enable(trace.CatLog)
+	e.rec.SetSink(func(ev trace.Event) {
+		if ev.Cat == trace.CatLog {
+			fn(Time(ev.T), "%s", ev.Detail)
+		}
+	})
+}
+
+// Tracef emits a printf-style trace record (category "log") when log
+// tracing is enabled.
+//
+// Deprecated: prefer typed events on Recorder().
 func (e *Engine) Tracef(format string, args ...any) {
-	if e.tracer != nil {
-		e.tracer(e.now, format, args...)
+	if e.rec.Enabled(trace.CatLog) {
+		e.rec.Event(trace.CatLog, "log", trace.Attr{Detail: fmt.Sprintf(format, args...)})
 	}
 }
 
@@ -252,6 +296,9 @@ func (e *Engine) RunUntil(limit Time) error {
 			// any FIFO entry and must run first.
 			if len(e.heap) > 0 && e.heap[0].t == e.now {
 				ev := e.heapPop()
+				if e.rec.Enabled(trace.CatEngine) {
+					e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+				}
 				ev.fn()
 				continue
 			}
@@ -262,6 +309,9 @@ func (e *Engine) RunUntil(limit Time) error {
 				e.fifo = e.fifo[:0]
 				e.fifoHead = 0
 			}
+			if e.rec.Enabled(trace.CatEngine) {
+				e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+			}
 			ev.fn()
 			continue
 		}
@@ -271,6 +321,9 @@ func (e *Engine) RunUntil(limit Time) error {
 		}
 		ev := e.heapPop()
 		e.now = ev.t
+		if e.rec.Enabled(trace.CatEngine) {
+			e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+		}
 		ev.fn()
 	}
 	var blocked []string
@@ -320,6 +373,9 @@ func (e *Engine) Kill(p *Proc) {
 		return
 	}
 	p.killed = true
+	if e.rec.Enabled(trace.CatProc) {
+		e.rec.Event(trace.CatProc, "kill", trace.Attr{Detail: p.name})
+	}
 	// The abort handshake must run from the engine's event loop — never
 	// from another process goroutine — so route it through the heap.
 	e.At(e.now, func() {
@@ -347,6 +403,9 @@ func (e *Engine) Kill(p *Proc) {
 func (e *Engine) abort(p *Proc) {
 	if p.state != procParked {
 		panic("simcore: aborting a process that is not parked")
+	}
+	if e.rec.Enabled(trace.CatProc) {
+		e.rec.Event(trace.CatProc, "abort", trace.Attr{Detail: p.name})
 	}
 	delete(e.procs, p)
 	p.state = procRunning

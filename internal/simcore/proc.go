@@ -1,6 +1,10 @@
 package simcore
 
-import "fmt"
+import (
+	"fmt"
+
+	"microgrid/internal/trace"
+)
 
 type procState int
 
@@ -61,6 +65,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt creates a new process executing fn, starting at time t.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if e.rec.Enabled(trace.CatProc) {
+		e.rec.Event(trace.CatProc, "spawn", trace.Attr{Detail: name})
+	}
 	e.seq++
 	p := &Proc{
 		eng:    e,

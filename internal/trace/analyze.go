@@ -1,0 +1,395 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analyses over trace runs. These back the cmd/mgridtrace subcommands
+// but are plain functions over []Run so tests (and other tools) can use
+// them directly. All output ordering is deterministic: names sort
+// lexically, ranks and times numerically.
+
+// Summary renders per-run event counts by category and name, the traced
+// time range, and — never silently — the dropped-events counter.
+func Summary(runs []Run) string {
+	var b strings.Builder
+	for _, run := range runs {
+		fmt.Fprintf(&b, "run %s (buffer %d events)\n", orUnnamed(run.Label), run.BufSize)
+		if len(run.Events) == 0 {
+			fmt.Fprintf(&b, "  no events\n")
+		} else {
+			lo, hi := run.Events[0].T, run.Events[0].T
+			type key struct {
+				cat  string
+				name string
+			}
+			counts := map[key]int{}
+			var keys []key
+			for i := range run.Events {
+				ev := &run.Events[i]
+				if ev.T < lo {
+					lo = ev.T
+				}
+				if end := ev.T + ev.Dur; end > hi {
+					hi = end
+				}
+				k := key{ev.Cat.String(), ev.Name}
+				if counts[k] == 0 {
+					keys = append(keys, k)
+				}
+				counts[k]++
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].cat != keys[j].cat {
+					return keys[i].cat < keys[j].cat
+				}
+				return keys[i].name < keys[j].name
+			})
+			fmt.Fprintf(&b, "  %d events retained, virtual span %s .. %s\n",
+				len(run.Events), fmtNS(lo), fmtNS(hi))
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %-8s %-12s %8d\n", k.cat, k.name, counts[k])
+			}
+		}
+		fmt.Fprintf(&b, "  emitted %d, dropped %d", run.Emitted, run.Dropped)
+		if run.Dropped > 0 {
+			fmt.Fprintf(&b, "  [WARNING: ring buffer overflowed; raise -trace-buf]")
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+func fmtNS(ns int64) string {
+	return fmt.Sprintf("%.6fs", float64(ns)/1e9)
+}
+
+// PathStep is one hop of a critical path.
+type PathStep struct {
+	// Kind is "compute" (time on one rank between two of its events) or
+	// "message" (a matched send→recv flight).
+	Kind     string
+	Rank     int
+	Peer     int
+	From, To int64
+}
+
+// CriticalPath walks the longest dependency chain through a run's MPI
+// events: starting from the last MPI event, each receive jumps to its
+// matched send (message time), every other step charges the gap to
+// computation on that rank. Send k from rank r to rank d matches receive
+// k on rank d from rank r (connections are FIFO). Returns the chain in
+// chronological order; ok is false when the run has no MPI events.
+func CriticalPath(run Run) (steps []PathStep, ok bool) {
+	type evref struct {
+		t    int64
+		seq  uint64
+		name string
+		rank int
+		peer int
+	}
+	var mpi []evref
+	for i := range run.Events {
+		ev := &run.Events[i]
+		if ev.Cat != CatMPI {
+			continue
+		}
+		// Span events (barrier) enter the timeline at their end.
+		mpi = append(mpi, evref{t: ev.T + ev.Dur, seq: ev.Seq, name: ev.Name, rank: ev.Rank, peer: ev.Peer})
+	}
+	if len(mpi) == 0 {
+		return nil, false
+	}
+	sort.Slice(mpi, func(i, j int) bool {
+		if mpi[i].t != mpi[j].t {
+			return mpi[i].t < mpi[j].t
+		}
+		return mpi[i].seq < mpi[j].seq
+	})
+	// Per-rank event indices and FIFO send/recv matching.
+	byRank := map[int][]int{}
+	type pair struct{ a, b int }
+	sends := map[pair][]int{} // (src,dst) -> indices into mpi
+	posInRank := make([]int, len(mpi))
+	for i, e := range mpi {
+		posInRank[i] = len(byRank[e.rank])
+		byRank[e.rank] = append(byRank[e.rank], i)
+		if e.name == "send" {
+			sends[pair{e.rank, e.peer}] = append(sends[pair{e.rank, e.peer}], i)
+		}
+	}
+	recvMatch := make([]int, len(mpi)) // recv index -> matched send index (-1 none)
+	taken := map[pair]int{}
+	for i, e := range mpi {
+		recvMatch[i] = -1
+		if e.name != "recv" {
+			continue
+		}
+		k := pair{e.peer, e.rank}
+		if n := taken[k]; n < len(sends[k]) {
+			recvMatch[i] = sends[k][n]
+			taken[k] = n + 1
+		}
+	}
+	// Walk backwards from the last event.
+	cur := len(mpi) - 1
+	for cur >= 0 {
+		e := mpi[cur]
+		if e.name == "recv" && recvMatch[cur] >= 0 {
+			s := recvMatch[cur]
+			steps = append(steps, PathStep{
+				Kind: "message", Rank: mpi[s].rank, Peer: e.rank,
+				From: mpi[s].t, To: e.t,
+			})
+			cur = s
+			continue
+		}
+		p := posInRank[cur]
+		if p == 0 {
+			break
+		}
+		prev := byRank[e.rank][p-1]
+		steps = append(steps, PathStep{
+			Kind: "compute", Rank: e.rank, Peer: e.rank,
+			From: mpi[prev].t, To: e.t,
+		})
+		cur = prev
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return steps, true
+}
+
+// FormatCriticalPath renders the chain plus a compute/message time
+// decomposition. maxSteps bounds the printed chain (0 = all); elided
+// steps are counted, not hidden.
+func FormatCriticalPath(run Run, maxSteps int) string {
+	steps, ok := CriticalPath(run)
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s\n", orUnnamed(run.Label))
+	if !ok {
+		fmt.Fprintf(&b, "  no MPI events in trace (enable category \"mpi\")\n")
+		return b.String()
+	}
+	var compute, message int64
+	for _, s := range steps {
+		if s.Kind == "message" {
+			message += s.To - s.From
+		} else {
+			compute += s.To - s.From
+		}
+	}
+	total := compute + message
+	fmt.Fprintf(&b, "  critical path: %s over %d steps (compute %s, message %s)\n",
+		fmtNS(total), len(steps), fmtNS(compute), fmtNS(message))
+	if run.Dropped > 0 {
+		fmt.Fprintf(&b, "  [WARNING: %d events dropped; path reflects the retained window only]\n", run.Dropped)
+	}
+	show := len(steps)
+	if maxSteps > 0 && show > maxSteps {
+		show = maxSteps
+	}
+	for i := 0; i < show; i++ {
+		s := steps[i]
+		switch s.Kind {
+		case "message":
+			fmt.Fprintf(&b, "  %s .. %s  message rank %d -> rank %d (%s)\n",
+				fmtNS(s.From), fmtNS(s.To), s.Rank, s.Peer, fmtNS(s.To-s.From))
+		default:
+			fmt.Fprintf(&b, "  %s .. %s  compute rank %d (%s)\n",
+				fmtNS(s.From), fmtNS(s.To), s.Rank, fmtNS(s.To-s.From))
+		}
+	}
+	if show < len(steps) {
+		fmt.Fprintf(&b, "  ... %d more steps\n", len(steps)-show)
+	}
+	return b.String()
+}
+
+// LinkReport renders per-link traffic from "hop" spans (CatNet): packet
+// and byte counts, serialization busy time, mean utilization over the
+// traced span, and a bucketed utilization timeline. Loss and drop
+// instants are tallied alongside. buckets <= 0 defaults to 20.
+func LinkReport(run Run, buckets int) string {
+	if buckets <= 0 {
+		buckets = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s\n", orUnnamed(run.Label))
+	type linkStat struct {
+		hops, lost, dropped int64
+		bytes, busy         int64
+		timeline            []int64 // busy ns per bucket
+	}
+	stats := map[string]*linkStat{}
+	var names []string
+	var lo, hi int64
+	first := true
+	for i := range run.Events {
+		ev := &run.Events[i]
+		if ev.Cat != CatNet || ev.Link == "" {
+			continue
+		}
+		if first || ev.T < lo {
+			lo = ev.T
+		}
+		if end := ev.T + ev.Dur; first || end > hi {
+			hi = end
+		}
+		first = false
+		st := stats[ev.Link]
+		if st == nil {
+			st = &linkStat{timeline: make([]int64, buckets)}
+			stats[ev.Link] = st
+			names = append(names, ev.Link)
+		}
+		switch ev.Name {
+		case "hop":
+			st.hops++
+			st.bytes += ev.Bytes
+			st.busy += ev.Dur
+		case "loss":
+			st.lost++
+		case "drop":
+			st.dropped++
+		}
+	}
+	if first {
+		fmt.Fprintf(&b, "  no net events in trace (enable category \"net\")\n")
+		return b.String()
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	bucketNS := (span + int64(buckets) - 1) / int64(buckets)
+	for i := range run.Events {
+		ev := &run.Events[i]
+		if ev.Cat != CatNet || ev.Name != "hop" || ev.Link == "" {
+			continue
+		}
+		st := stats[ev.Link]
+		// Distribute the serialization span over the buckets it overlaps.
+		for t := ev.T; t < ev.T+ev.Dur; {
+			bi := (t - lo) / bucketNS
+			if bi >= int64(buckets) {
+				bi = int64(buckets) - 1
+			}
+			bEnd := lo + (bi+1)*bucketNS
+			seg := ev.T + ev.Dur
+			if bEnd < seg {
+				seg = bEnd
+			}
+			st.timeline[bi] += seg - t
+			t = seg
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  span %s .. %s, %d buckets of %s\n", fmtNS(lo), fmtNS(hi), buckets, fmtNS(bucketNS))
+	for _, name := range names {
+		st := stats[name]
+		util := float64(st.busy) / float64(span)
+		fmt.Fprintf(&b, "  %-28s %8d pkts %12d B  busy %5.1f%%  lost %d dropped %d\n",
+			name, st.hops, st.bytes, 100*util, st.lost, st.dropped)
+		if st.hops > 0 {
+			fmt.Fprintf(&b, "    timeline [")
+			for _, busy := range st.timeline {
+				u := float64(busy) / float64(bucketNS)
+				fmt.Fprintf(&b, "%s", utilGlyph(u))
+			}
+			fmt.Fprintf(&b, "]\n")
+		}
+	}
+	if run.Dropped > 0 {
+		fmt.Fprintf(&b, "  [WARNING: %d events dropped; counts reflect the retained window only]\n", run.Dropped)
+	}
+	return b.String()
+}
+
+// utilGlyph maps a utilization fraction to a 0-9 digit column (stable in
+// any terminal, unlike block glyphs).
+func utilGlyph(u float64) string {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return string(rune('0' + int(u*9.999)))
+}
+
+// HostReport renders per-host CPU busy fractions from "slice" spans
+// (CatCPU) — actual scheduled CPU time per physical host — with a
+// per-task breakdown.
+func HostReport(run Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %s\n", orUnnamed(run.Label))
+	type hostStat struct {
+		busy  int64
+		tasks map[string]int64
+	}
+	stats := map[string]*hostStat{}
+	var names []string
+	var lo, hi int64
+	first := true
+	for i := range run.Events {
+		ev := &run.Events[i]
+		if ev.Cat != CatCPU || ev.Name != "slice" || ev.Host == "" {
+			continue
+		}
+		if first || ev.T < lo {
+			lo = ev.T
+		}
+		if end := ev.T + ev.Dur; first || end > hi {
+			hi = end
+		}
+		first = false
+		st := stats[ev.Host]
+		if st == nil {
+			st = &hostStat{tasks: map[string]int64{}}
+			stats[ev.Host] = st
+			names = append(names, ev.Host)
+		}
+		st.busy += ev.Dur
+		st.tasks[ev.Detail] += ev.Dur
+	}
+	if first {
+		fmt.Fprintf(&b, "  no cpu slice events in trace (enable category \"cpu\")\n")
+		return b.String()
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "  span %s .. %s\n", fmtNS(lo), fmtNS(hi))
+	for _, name := range names {
+		st := stats[name]
+		fmt.Fprintf(&b, "  %-20s busy %5.1f%% (%s)\n", name, 100*float64(st.busy)/float64(span), fmtNS(st.busy))
+		var tasks []string
+		for t := range st.tasks {
+			tasks = append(tasks, t)
+		}
+		sort.Slice(tasks, func(i, j int) bool {
+			if st.tasks[tasks[i]] != st.tasks[tasks[j]] {
+				return st.tasks[tasks[i]] > st.tasks[tasks[j]]
+			}
+			return tasks[i] < tasks[j]
+		})
+		for _, t := range tasks {
+			label := t
+			if label == "" {
+				label = "(unnamed)"
+			}
+			fmt.Fprintf(&b, "    %-24s %5.1f%%\n", label, 100*float64(st.tasks[t])/float64(span))
+		}
+	}
+	if run.Dropped > 0 {
+		fmt.Fprintf(&b, "  [WARNING: %d events dropped; fractions reflect the retained window only]\n", run.Dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wire formats.
+//
+// JSONL is the compact machine-readable stream cmd/mgridtrace consumes:
+// one JSON object per line, runs delimited by header/footer records that
+// carry the buffer size and the emitted/dropped counters. Chrome JSON is
+// the trace-event format Perfetto and chrome://tracing load directly:
+// virtual-time microseconds, one pid per run, one tid per host.
+//
+// Both writers emit fields in a fixed order and never consult the wall
+// clock, so a given Run slice always produces identical bytes.
+
+// lineJSON is the JSONL wire record: exactly one of the three record
+// shapes (run header, event, run footer) populates its fields.
+type lineJSON struct {
+	// Run header.
+	Run string `json:"run,omitempty"`
+	Buf int    `json:"buf,omitempty"`
+	// Event.
+	T      *int64 `json:"t,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Cat    string `json:"cat,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Host   string `json:"host,omitempty"`
+	Link   string `json:"link,omitempty"`
+	Rank   int    `json:"rank,omitempty"`
+	Peer   int    `json:"peer,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	Dur    int64  `json:"dur,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Run footer.
+	EndRun  string  `json:"endRun,omitempty"`
+	Emitted *uint64 `json:"emitted,omitempty"`
+	Dropped *uint64 `json:"dropped,omitempty"`
+}
+
+// WriteJSONL streams runs as JSONL. Every run is bracketed by a header
+// ({"run":...,"buf":N}) and a footer ({"endRun":...,"emitted":M,
+// "dropped":D}); the dropped counter makes ring truncation visible to
+// every consumer.
+func WriteJSONL(w io.Writer, runs []Run) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, run := range runs {
+		if err := enc.Encode(lineJSON{Run: orUnnamed(run.Label), Buf: run.BufSize}); err != nil {
+			return err
+		}
+		for i := range run.Events {
+			ev := &run.Events[i]
+			t := ev.T
+			rec := lineJSON{
+				T: &t, Seq: ev.Seq, Cat: ev.Cat.String(), Name: ev.Name,
+				Host: ev.Host, Link: ev.Link, Rank: ev.Rank, Peer: ev.Peer,
+				Bytes: ev.Bytes, Dur: ev.Dur, Detail: ev.Detail,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		em, dr := run.Emitted, run.Dropped
+		if err := enc.Encode(lineJSON{EndRun: orUnnamed(run.Label), Emitted: &em, Dropped: &dr}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func orUnnamed(label string) string {
+	if label == "" {
+		return "unnamed"
+	}
+	return label
+}
+
+// ReadJSONL parses a stream written by WriteJSONL. Events outside any
+// run header are collected into an implicit run labeled "unnamed".
+func ReadJSONL(r io.Reader) ([]Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var runs []Run
+	var cur *Run
+	ensure := func(label string) *Run {
+		if cur == nil {
+			runs = append(runs, Run{Label: label})
+			cur = &runs[len(runs)-1]
+		}
+		return cur
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec lineJSON
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch {
+		case rec.Run != "":
+			runs = append(runs, Run{Label: rec.Run, BufSize: rec.Buf})
+			cur = &runs[len(runs)-1]
+		case rec.EndRun != "":
+			run := ensure(rec.EndRun)
+			if rec.Emitted != nil {
+				run.Emitted = *rec.Emitted
+			}
+			if rec.Dropped != nil {
+				run.Dropped = *rec.Dropped
+			}
+			cur = nil
+		case rec.T != nil:
+			cat, err := ParseCategories(rec.Cat)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			run := ensure("unnamed")
+			run.Events = append(run.Events, Event{
+				T: *rec.T, Seq: rec.Seq, Cat: cat, Name: rec.Name,
+				Host: rec.Host, Link: rec.Link, Rank: rec.Rank, Peer: rec.Peer,
+				Bytes: rec.Bytes, Dur: rec.Dur, Detail: rec.Detail,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unrecognized record", line)
+		}
+	}
+	return runs, sc.Err()
+}
+
+// chromeEvent is one Chrome trace-event record. Timestamps are
+// microseconds of virtual time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes runs in the Chrome trace-event JSON format, loadable
+// in Perfetto or chrome://tracing. Each run becomes a process (pid); each
+// distinct Host attribute becomes a named thread; events without a host
+// land on tid 0 ("(global)"). Spans map to complete ('X') events and
+// instants to 'i' events, all at virtual-time microseconds.
+func WriteChrome(w io.Writer, runs []Run) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	first := true
+	var emit func(ev chromeEvent) error
+	emit = func(ev chromeEvent) error {
+		if !first {
+			if _, err := io.WriteString(bw, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		// json.Encoder appends a newline, giving one event per line.
+		return enc.Encode(ev)
+	}
+	var totalDropped uint64
+	for pid, run := range runs {
+		totalDropped += run.Dropped
+		// Deterministic thread ids: hosts sorted by name, 1-based.
+		hosts := map[string]int{}
+		var names []string
+		for i := range run.Events {
+			if h := run.Events[i].Host; h != "" && hosts[h] == 0 {
+				hosts[h] = -1
+				names = append(names, h)
+			}
+		}
+		sort.Strings(names)
+		for i, h := range names {
+			hosts[h] = i + 1
+		}
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": orUnnamed(run.Label)},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "(global)"},
+		}); err != nil {
+			return err
+		}
+		for _, h := range names {
+			if err := emit(chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: hosts[h],
+				Args: map[string]any{"name": h},
+			}); err != nil {
+				return err
+			}
+		}
+		for i := range run.Events {
+			ev := &run.Events[i]
+			ce := chromeEvent{
+				Name: ev.Name,
+				Cat:  ev.Cat.String(),
+				Ts:   float64(ev.T) / 1e3,
+				Pid:  pid,
+				Tid:  hosts[ev.Host],
+			}
+			if ev.Dur > 0 {
+				d := float64(ev.Dur) / 1e3
+				ce.Ph, ce.Dur = "X", &d
+			} else {
+				ce.Ph, ce.S = "i", "t"
+			}
+			args := map[string]any{"seq": ev.Seq}
+			if ev.Link != "" {
+				args["link"] = ev.Link
+			}
+			if ev.Cat == CatMPI {
+				args["rank"] = ev.Rank
+				args["peer"] = ev.Peer
+			}
+			if ev.Bytes != 0 {
+				args["bytes"] = ev.Bytes
+			}
+			if ev.Detail != "" {
+				args["detail"] = ev.Detail
+			}
+			ce.Args = args
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "],\"otherData\":{\"dropped_events\":\"%d\"}}\n", totalDropped); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,309 @@
+// Package trace is the MicroGrid's deterministic structured tracing
+// subsystem: the queryable internal instrument the paper validates with
+// Autopilot sensors (§5), generalized into typed events and spans over
+// every layer of the stack (engine, processes, CPU scheduling, network,
+// MPI, middleware, fault injection).
+//
+// All timestamps are *virtual* nanoseconds and every record carries a
+// recorder-assigned sequence number, so the (time, seq) order — and
+// therefore every export — is bit-for-bit deterministic for a given
+// simulation seed, independent of wall clock, worker count, or host.
+//
+// Records land in a bounded ring buffer: when it fills, the oldest
+// records are overwritten and a dropped-events counter advances. The
+// counter is part of every export — truncation is never silent.
+//
+// Recording is gated per category by a bitmask with a strict
+// zero-overhead-when-disabled fast path: a nil recorder or a masked-out
+// category costs one branch at the call site and allocates nothing.
+//
+// The package deliberately imports nothing from the rest of the
+// repository so that every layer (including the simulation engine
+// itself) can emit into it.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category classifies events; categories form a bitmask so recording can
+// be enabled per subsystem.
+type Category uint32
+
+const (
+	// CatEngine traces discrete-event dispatch in the simulation core.
+	CatEngine Category = 1 << iota
+	// CatProc traces process lifecycle: spawn, kill, abort.
+	CatProc
+	// CatCPU traces CPU scheduling: slices, controller quanta, load.
+	CatCPU
+	// CatNet traces the packet path: per-hop traversal, loss, drops.
+	CatNet
+	// CatLink traces link state: up/down/degrade/restore, node crashes.
+	CatLink
+	// CatMPI traces message passing: send, recv, barrier.
+	CatMPI
+	// CatGlobus traces middleware: submit, job states, retry, failover.
+	CatGlobus
+	// CatChaos traces fault-injection firings.
+	CatChaos
+	// CatLog carries legacy printf-style Tracef records.
+	CatLog
+
+	// CatAll enables everything.
+	CatAll Category = 1<<iota - 1
+)
+
+// catNames maps the single-bit categories to their wire names, in bit
+// order.
+var catNames = []struct {
+	c    Category
+	name string
+}{
+	{CatEngine, "engine"},
+	{CatProc, "proc"},
+	{CatCPU, "cpu"},
+	{CatNet, "net"},
+	{CatLink, "link"},
+	{CatMPI, "mpi"},
+	{CatGlobus, "globus"},
+	{CatChaos, "chaos"},
+	{CatLog, "log"},
+}
+
+// String returns the category's wire name ("cpu", "net", ...); multi-bit
+// masks render as a comma-joined list.
+func (c Category) String() string {
+	var parts []string
+	for _, cn := range catNames {
+		if c&cn.c != 0 {
+			parts = append(parts, cn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseCategories parses a comma-separated category list ("net,mpi",
+// "all", "all,-engine" to subtract) into a mask.
+func ParseCategories(s string) (Category, error) {
+	var mask Category
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		neg := strings.HasPrefix(tok, "-")
+		if neg {
+			tok = tok[1:]
+		}
+		var bit Category
+		if tok == "all" {
+			bit = CatAll
+		} else {
+			for _, cn := range catNames {
+				if cn.name == tok {
+					bit = cn.c
+					break
+				}
+			}
+			if bit == 0 {
+				return 0, fmt.Errorf("trace: unknown category %q", tok)
+			}
+		}
+		if neg {
+			mask &^= bit
+		} else {
+			mask |= bit
+		}
+	}
+	return mask, nil
+}
+
+// Event is one trace record. T is virtual nanoseconds; for spans it is
+// the span's start and Dur its length, for instants Dur is zero. Seq is
+// the recorder-assigned emission sequence — (T, Seq) need not be sorted
+// in the buffer (a span is emitted when it *ends*), but Seq alone is the
+// deterministic total emission order.
+type Event struct {
+	T    int64
+	Seq  uint64
+	Cat  Category
+	Name string
+	// Attributes; zero values mean "not applicable". Rank and Peer are
+	// only meaningful on CatMPI records (rank 0 is encoded as the zero
+	// value on the wire).
+	Host   string
+	Link   string
+	Rank   int
+	Peer   int
+	Bytes  int64
+	Dur    int64
+	Detail string
+}
+
+// Attr carries an Event's optional attributes to the emit calls.
+type Attr struct {
+	Host   string
+	Link   string
+	Rank   int
+	Peer   int
+	Bytes  int64
+	Detail string
+}
+
+// Recorder collects events into a bounded ring buffer. It is not safe
+// for concurrent use; in the MicroGrid one recorder belongs to one
+// simulation engine, whose event loop is single-threaded.
+type Recorder struct {
+	// Label identifies this recorder's run in multi-run exports.
+	Label string
+
+	mask    Category
+	now     func() int64
+	sink    func(Event)
+	buf     []Event
+	start   int // index of the oldest retained event
+	count   int // number of retained events
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultBufSize is the default ring capacity in events.
+const DefaultBufSize = 1 << 16
+
+// NewRecorder returns a recorder with the given ring capacity
+// (DefaultBufSize if size <= 0) and initial category mask.
+func NewRecorder(size int, mask Category) *Recorder {
+	if size <= 0 {
+		size = DefaultBufSize
+	}
+	return &Recorder{mask: mask, buf: make([]Event, size)}
+}
+
+// SetClock installs the virtual-time source (the owning engine's now).
+func (r *Recorder) SetClock(now func() int64) { r.now = now }
+
+// SetSink installs fn to observe every retained event as it is emitted
+// (nil removes it). The legacy printf tracer shim uses this.
+func (r *Recorder) SetSink(fn func(Event)) { r.sink = fn }
+
+// Enabled reports whether category c is being recorded. It is nil-safe:
+// call sites guard their attribute construction with it, so a simulation
+// without tracing pays exactly this one branch.
+func (r *Recorder) Enabled(c Category) bool {
+	return r != nil && r.mask&c != 0
+}
+
+// Mask returns the current category mask.
+func (r *Recorder) Mask() Category { return r.mask }
+
+// Enable adds categories to the mask.
+func (r *Recorder) Enable(c Category) { r.mask |= c }
+
+// Disable removes categories from the mask.
+func (r *Recorder) Disable(c Category) { r.mask &^= c }
+
+// BufSize returns the ring capacity in events.
+func (r *Recorder) BufSize() int { return len(r.buf) }
+
+// Emitted returns how many events were emitted in total (retained plus
+// dropped).
+func (r *Recorder) Emitted() uint64 { return r.seq }
+
+// Dropped returns how many events the ring has overwritten. Exports
+// surface this count so truncation is never silent.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Event records an instant event at the current virtual time. Masked-out
+// categories return immediately.
+func (r *Recorder) Event(cat Category, name string, a Attr) {
+	if r == nil || r.mask&cat == 0 {
+		return
+	}
+	var t int64
+	if r.now != nil {
+		t = r.now()
+	}
+	r.push(Event{
+		T: t, Cat: cat, Name: name,
+		Host: a.Host, Link: a.Link, Rank: a.Rank, Peer: a.Peer,
+		Bytes: a.Bytes, Detail: a.Detail,
+	})
+}
+
+// Span records a completed span starting at virtual time start (ns) and
+// lasting dur. Spans are emitted when they end, so their Seq reflects
+// completion order while T is the start.
+func (r *Recorder) Span(cat Category, name string, start, dur int64, a Attr) {
+	if r == nil || r.mask&cat == 0 {
+		return
+	}
+	r.push(Event{
+		T: start, Dur: dur, Cat: cat, Name: name,
+		Host: a.Host, Link: a.Link, Rank: a.Rank, Peer: a.Peer,
+		Bytes: a.Bytes, Detail: a.Detail,
+	})
+}
+
+// push assigns the sequence number and stores ev, overwriting the oldest
+// record when the ring is full.
+func (r *Recorder) push(ev Event) {
+	r.seq++
+	ev.Seq = r.seq
+	if r.count == len(r.buf) {
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	} else {
+		r.buf[(r.start+r.count)%len(r.buf)] = ev
+		r.count++
+	}
+	if r.sink != nil {
+		r.sink(ev)
+	}
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Run is one recorder's snapshot for export and analysis.
+type Run struct {
+	Label   string
+	BufSize int
+	Emitted uint64
+	Dropped uint64
+	Events  []Event
+}
+
+// Snapshot captures the recorder's current contents.
+func (r *Recorder) Snapshot() Run {
+	return Run{
+		Label:   r.Label,
+		BufSize: len(r.buf),
+		Emitted: r.seq,
+		Dropped: r.dropped,
+		Events:  r.Events(),
+	}
+}
+
+// SortByTime orders events by (T, Seq) — the deterministic total order
+// analyses use (spans are buffered in completion order, not start order).
+func SortByTime(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		return events[i].Seq < events[j].Seq
+	})
+}

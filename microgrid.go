@@ -24,6 +24,7 @@ package microgrid
 
 import (
 	"context"
+	"io"
 
 	"microgrid/internal/chaos"
 	"microgrid/internal/core"
@@ -31,6 +32,7 @@ import (
 	"microgrid/internal/npb"
 	"microgrid/internal/runner"
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // Core system types.
@@ -168,3 +170,42 @@ func RunCampaign(ctx context.Context, tasks []CampaignTask, opts CampaignOptions
 func WriteCampaignArtifacts(dir string, results []CampaignResult, quick bool) error {
 	return runner.WriteArtifacts(dir, results, quick)
 }
+
+// Structured tracing (internal/trace): deterministic, virtual-time typed
+// events over every layer of the stack. Arm it globally with
+// EnableTracing before building grids (cmd/mgrid's -trace flag does
+// this), or per instance via BuildConfig.Trace; export the collected
+// runs as compact JSONL or Chrome trace-event JSON (Perfetto).
+type (
+	// TraceConfig selects trace categories and ring-buffer capacity.
+	TraceConfig = core.TraceConfig
+	// TraceCategory is the per-subsystem trace category bitmask.
+	TraceCategory = trace.Category
+	// TraceEvent is one trace record (virtual-time instant or span).
+	TraceEvent = trace.Event
+	// TraceRun is one recorder's exported snapshot.
+	TraceRun = trace.Run
+)
+
+// TraceAll enables every trace category.
+const TraceAll = trace.CatAll
+
+// ParseTraceCategories parses a category list like "net,mpi" or
+// "all,-engine".
+func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseCategories(s) }
+
+// EnableTracing arms global tracing for all subsequently built grids.
+func EnableTracing(cfg TraceConfig) { core.EnableTracing(cfg) }
+
+// ResetTracing disarms global tracing and drops collected recorders.
+func ResetTracing() { core.ResetTracing() }
+
+// TraceSnapshots returns the collected trace runs in build order.
+func TraceSnapshots() []TraceRun { return core.TraceSnapshots() }
+
+// WriteTraceJSONL writes the collected trace runs as compact JSONL.
+func WriteTraceJSONL(w io.Writer) error { return core.WriteTraceJSONL(w) }
+
+// WriteTraceChrome writes the collected trace runs as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing.
+func WriteTraceChrome(w io.Writer) error { return core.WriteTraceChrome(w) }
