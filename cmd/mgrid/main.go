@@ -9,6 +9,7 @@
 //	mgrid -all -quick -j 8               # whole campaign, 8 workers
 //	mgrid -all -quick -out results/      # + campaign.json, timings.csv
 //	mgrid -run 'chaos-*' -quick -j 4     # glob-selected sub-campaign
+//	mgrid -scenario my.scenario          # run a declarative scenario file
 //
 // Experiments run on a bounded worker pool (-j), each in its own
 // isolated simulation engine, with an optional per-experiment wall-clock
@@ -26,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"microgrid"
@@ -37,6 +40,7 @@ func main() {
 		expID    = flag.String("experiment", "", "experiment id to run (fig05..fig17)")
 		all      = flag.Bool("all", false, "run every experiment")
 		runGlob  = flag.String("run", "", "run experiments whose id matches this glob (e.g. 'chaos-*')")
+		scenFile = flag.String("scenario", "", "run a declarative .scenario file end to end")
 		quick    = flag.Bool("quick", false, "reduced problem sizes for fast runs")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of text")
 		jobs     = flag.Int("j", 1, "number of experiments to run concurrently")
@@ -51,8 +55,13 @@ func main() {
 	if *list {
 		fmt.Println("Available experiments:")
 		for _, e := range microgrid.Experiments() {
-			fmt.Printf("  %s\n", e.ID)
+			fmt.Printf("  %-12s %s\n", e.ID, e.Desc)
 		}
+		return
+	}
+
+	if *scenFile != "" {
+		runScenarioFile(*scenFile)
 		return
 	}
 
@@ -177,5 +186,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s [%s]: %v\n", r.ID, r.Status, r.Err)
 		}
 		os.Exit(1)
+	}
+}
+
+// runScenarioFile loads a declarative scenario and runs it end to end:
+// parse, validate, build the virtual grid (arming any chaos schedule),
+// run the workload, and print a deterministic report.
+func runScenarioFile(file string) {
+	s, err := microgrid.LoadScenario(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	// Relative references inside the scenario (a gis file= path) resolve
+	// against the scenario file's own directory.
+	report, err := microgrid.RunScenarioEnv(s, microgrid.ScenarioEnv{BaseDir: filepath.Dir(file)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s: %s ok\n", s.Name, report.Name)
+	fmt.Printf("virtual time:    %.3f s\n", report.VirtualElapsed.Seconds())
+	fmt.Printf("job time:        %.3f s (attempts %d)\n", report.JobVirtual.Seconds(), report.Attempts)
+	fmt.Printf("network:         %d packets delivered, %d dropped\n",
+		report.Net.PacketsDelivered, report.Net.PacketsDropped)
+	hosts := make([]string, 0, len(report.HostUtilization))
+	for h := range report.HostUtilization {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		fmt.Printf("utilization:     %-24s %.1f%%\n", h, 100*report.HostUtilization[h])
 	}
 }

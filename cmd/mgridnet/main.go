@@ -77,13 +77,8 @@ func main() {
 	case *vbns:
 		nw, err = topology.BuildVBNS(eng, topology.VBNSConfig{HostsPerSite: 2, BottleneckBps: *wanBps})
 	case *topoFile != "":
-		f, ferr := os.Open(*topoFile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "error:", ferr)
-			os.Exit(1)
-		}
-		spec, perr := topology.ParseSpec(f)
-		f.Close()
+		// LoadSpec reports parse errors positioned as file:line.
+		spec, perr := topology.LoadSpec(*topoFile)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "error:", perr)
 			os.Exit(1)

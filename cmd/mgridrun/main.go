@@ -7,15 +7,20 @@
 //	mgridrun -gis grid.ldif -config Slow_CPU_Configuration -app EP -class S
 //	mgridrun -gis grid.ldif -config MyGrid -app wavetoy -size 50 -steps 100
 //	mgridrun -gis grid.ldif -config MyGrid -app EP -phys "m1=533,m2=533" -rate 0.5
+//	mgridrun -scenario run.scenario
 //
 // Without -phys the target is modeled directly (the reference run); with
 // -phys the named physical machines emulate the virtual grid at -rate.
+// With -scenario, the whole run — grid, workload, policies, faults — comes
+// from one declarative file and every other flag is ignored.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -33,8 +38,21 @@ func main() {
 		physArg = flag.String("phys", "", "emulation calibration: name=MIPS,name=MIPS (empty = direct model)")
 		rate    = flag.Float64("rate", 0, "simulation rate (0 = fastest feasible)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		scen    = flag.String("scenario", "", "declarative .scenario file (overrides all other flags)")
 	)
 	flag.Parse()
+	if *scen != "" {
+		s, err := microgrid.LoadScenario(*scen)
+		if err != nil {
+			fail(err)
+		}
+		report, err := microgrid.RunScenarioEnv(s, microgrid.ScenarioEnv{BaseDir: filepath.Dir(*scen)})
+		if err != nil {
+			fail(err)
+		}
+		printReport(report)
+		return
+	}
 	if *gisFile == "" || *config == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -94,12 +112,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	printReport(report)
+}
+
+func printReport(report *microgrid.Report) {
 	fmt.Printf("virtual time:    %.3f s\n", report.VirtualElapsed.Seconds())
 	fmt.Printf("emulation time:  %.3f s\n", report.PhysicalElapsed.Seconds())
 	fmt.Printf("network:         %d packets delivered, %d dropped\n",
 		report.Net.PacketsDelivered, report.Net.PacketsDropped)
-	for phys, u := range report.HostUtilization {
-		fmt.Printf("utilization:     %-24s %.1f%%\n", phys, 100*u)
+	hosts := make([]string, 0, len(report.HostUtilization))
+	for h := range report.HostUtilization {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		fmt.Printf("utilization:     %-24s %.1f%%\n", h, 100*report.HostUtilization[h])
 	}
 }
 

@@ -63,7 +63,15 @@ func run(policy microgrid.WorkQueueConfig) (float64, *microgrid.WorkQueueResult)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := microgrid.BuildFromGIS(server, "Hetero", microgrid.GISBuildOptions{Seed: 2})
+	// The grid is declared by a scenario referencing the GIS
+	// configuration; the farm itself stays a custom application function
+	// because it captures the per-worker result breakdown.
+	s := &microgrid.Scenario{
+		Name: "adaptive-scheduling",
+		Seed: 2,
+		GIS:  &microgrid.ScenarioGIS{Config: "Hetero"},
+	}
+	m, err := microgrid.BuildScenarioEnv(s, microgrid.ScenarioEnv{GIS: server})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,15 +38,21 @@ func main() {
 		params.GridEdge, params.Steps, extra["wavetoy::bound"])
 
 	run := func(emulated bool) float64 {
-		cfg := microgrid.BuildConfig{Seed: 16, Target: microgrid.AlphaCluster}
+		// The grid comes from a declarative scenario; the WaveToy run
+		// itself stays a custom application function so the Autopilot
+		// sensor can hook the solver's progress callback.
+		s := &microgrid.Scenario{
+			Name:   "cactus-wavetoy",
+			Seed:   16,
+			Target: microgrid.ScenarioMachineOf(microgrid.AlphaCluster),
+		}
 		label := "physical grid"
 		if emulated {
-			emu := microgrid.AlphaCluster
-			cfg.Emulation = &emu
-			cfg.Rate = 0.5
+			s.Emulation = microgrid.ScenarioMachineOf(microgrid.AlphaCluster)
+			s.Rate = 0.5
 			label = "MicroGrid (rate 0.5)"
 		}
-		m, err := microgrid.Build(cfg)
+		m, err := microgrid.BuildScenario(s)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -47,13 +47,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Both 100 MIPS virtual machines share one 533 MIPS physical machine.
-	m, err := microgrid.BuildFromGIS(server, "Slow_CPU_Configuration", microgrid.GISBuildOptions{
-		Seed:     1,
-		PhysMIPS: map[string]float64{"csag-226-67.ucsd.edu": 533},
-		// Rate 0 picks the fastest feasible simulation rate
-		// automatically from the resource specifications (§2.3).
-	})
+	// The scenario references the grid by configuration name; the
+	// already-loaded directory is supplied through the environment, so
+	// no LDIF file needs to exist on disk. Both 100 MIPS virtual
+	// machines share one 533 MIPS physical machine; rate 0 picks the
+	// fastest feasible simulation rate automatically from the resource
+	// specifications (§2.3).
+	s := &microgrid.Scenario{
+		Name: "gis-defined-grid",
+		Seed: 1,
+		GIS: &microgrid.ScenarioGIS{
+			Config:   "Slow_CPU_Configuration",
+			PhysMIPS: map[string]float64{"csag-226-67.ucsd.edu": 533},
+		},
+	}
+	m, err := microgrid.BuildScenarioEnv(s, microgrid.ScenarioEnv{GIS: server})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,22 +24,24 @@ func main() {
 
 	class := microgrid.NPBClass((*classStr)[0])
 
+	// One scenario declares the whole run — grid, workload, emulation
+	// policy; the physical arm simply drops the emulate/rate lines.
 	run := func(emulated bool) float64 {
-		cfg := microgrid.BuildConfig{Seed: 42, Target: microgrid.AlphaCluster}
+		s := &microgrid.Scenario{
+			Name:   "npb-cluster",
+			Seed:   42,
+			Target: microgrid.ScenarioMachineOf(microgrid.AlphaCluster),
+			Workload: &microgrid.ScenarioWorkload{
+				Kind: "npb", Bench: *bench, Class: byte(class),
+			},
+		}
 		label := "physical grid (direct model)"
 		if emulated {
-			emu := microgrid.AlphaCluster
-			cfg.Emulation = &emu
-			cfg.Rate = *rate
+			s.Emulation = microgrid.ScenarioMachineOf(microgrid.AlphaCluster)
+			s.Rate = *rate
 			label = fmt.Sprintf("MicroGrid (emulated at rate %.2f)", *rate)
 		}
-		m, err := microgrid.Build(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		report, err := m.RunApp(*bench, func(ctx *microgrid.AppContext) error {
-			return microgrid.RunNPB(ctx, *bench, class, nil)
-		}, microgrid.RunOptions{})
+		report, err := microgrid.RunScenario(s)
 		if err != nil {
 			log.Fatal(err)
 		}

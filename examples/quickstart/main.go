@@ -10,14 +10,24 @@ import (
 	"microgrid"
 )
 
+// The grid is declared, not constructed: a scenario names the target
+// machine platform, and BuildScenario assembles the matching MicroGrid.
+// The same text works as a standalone file for `mgrid -scenario`.
+const scenarioText = `scenario quickstart
+describe a 4-host virtual Alpha cluster for the minimal workflow
+seed 1
+target procs=4 cpu=533 mem=1GBytes net=100Mbps delay=25us name="Alpha Cluster"
+`
+
 func main() {
-	// A MicroGrid models a *target* grid. With no Emulation platform it
-	// runs "direct": the reference mode the paper calls the physical
-	// grid.
-	m, err := microgrid.Build(microgrid.BuildConfig{
-		Seed:   1,
-		Target: microgrid.AlphaCluster,
-	})
+	// A MicroGrid models a *target* grid. With no emulate platform the
+	// scenario runs "direct": the reference mode the paper calls the
+	// physical grid.
+	s, err := microgrid.ParseScenario(scenarioText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := microgrid.BuildScenario(s)
 	if err != nil {
 		log.Fatal(err)
 	}

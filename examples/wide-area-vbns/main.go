@@ -34,18 +34,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := microgrid.Build(microgrid.BuildConfig{
+		// The scenario pins ranks to sites: two processes at UCSD, two
+		// at UIUC, per-host specs from the Alpha-cluster target.
+		report, err := microgrid.RunScenario(&microgrid.Scenario{
+			Name:      "wide-area-vbns",
 			Seed:      7,
-			Target:    microgrid.AlphaCluster,
-			Topo:      spec,
+			Target:    microgrid.ScenarioMachineOf(microgrid.AlphaCluster),
+			Topology:  spec,
 			HostRanks: []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"},
+			Workload: &microgrid.ScenarioWorkload{
+				Kind: "npb", Bench: *bench, Class: byte(microgrid.NPBClassS),
+			},
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		report, err := m.RunApp(*bench, func(ctx *microgrid.AppContext) error {
-			return microgrid.RunNPB(ctx, *bench, microgrid.NPBClassS, nil)
-		}, microgrid.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -26,13 +27,24 @@ import (
 //	at 4s memhog vm3 64MB for=1s
 //
 // Durations use Go syntax (time.ParseDuration); sizes accept the GIS
-// suffixes (KB, MB, GB). Blank lines and #-comments are ignored.
+// suffixes (KB, MB, GB). Blank lines and #-comments are ignored. Each
+// fault kind accepts only its own options, and durations must be
+// non-negative, so every parsed schedule re-serializes (Schedule.String)
+// to an equivalent schedule.
 
 // ParseSchedule reads a schedule from r.
 func ParseSchedule(r io.Reader) (*Schedule, error) {
+	return ParseScheduleAt("<chaos>", 1, r)
+}
+
+// ParseScheduleAt reads a schedule from r, reporting errors against the
+// given source name with lines counted from firstLine — the hook that
+// lets an embedding format (a scenario file's "chaos" section) surface
+// errors at their true file position.
+func ParseScheduleAt(name string, firstLine int, r io.Reader) (*Schedule, error) {
 	s := &Schedule{}
 	sc := bufio.NewScanner(r)
-	lineno := 0
+	lineno := firstLine - 1
 	for sc.Scan() {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
@@ -43,23 +55,23 @@ func ParseSchedule(r io.Reader) (*Schedule, error) {
 		switch fields[0] {
 		case "schedule":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("chaos: line %d: want 'schedule <name>'", lineno)
+				return nil, fmt.Errorf("chaos: %s:%d: want 'schedule <name>'", name, lineno)
 			}
 			if s.Name != "" {
-				return nil, fmt.Errorf("chaos: line %d: duplicate schedule line", lineno)
+				return nil, fmt.Errorf("chaos: %s:%d: duplicate schedule line", name, lineno)
 			}
 			s.Name = fields[1]
 		case "at":
 			if s.Name == "" {
-				return nil, fmt.Errorf("chaos: line %d: 'at' before 'schedule <name>'", lineno)
+				return nil, fmt.Errorf("chaos: %s:%d: 'at' before 'schedule <name>'", name, lineno)
 			}
 			e, err := parseEvent(fields)
 			if err != nil {
-				return nil, fmt.Errorf("chaos: line %d: %w", lineno, err)
+				return nil, fmt.Errorf("chaos: %s:%d: %w", name, lineno, err)
 			}
 			s.Events = append(s.Events, e)
 		default:
-			return nil, fmt.Errorf("chaos: line %d: unknown directive %q", lineno, fields[0])
+			return nil, fmt.Errorf("chaos: %s:%d: unknown directive %q", name, lineno, fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -76,14 +88,25 @@ func ParseScheduleString(text string) (*Schedule, error) {
 	return ParseSchedule(strings.NewReader(text))
 }
 
-// LoadSchedule parses a schedule file.
+// LoadSchedule parses a schedule file; errors name the file.
 func LoadSchedule(path string) (*Schedule, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ParseSchedule(f)
+	return ParseScheduleAt(path, 1, f)
+}
+
+// eventOptions lists which options each fault kind accepts; anything
+// else is an error, so a schedule never carries silently ignored knobs.
+var eventOptions = map[Kind]string{
+	HostCrash:   "for,jitter",
+	CPULoad:     "for,jitter",
+	MemPressure: "for,jitter",
+	LinkDown:    "for,jitter",
+	LinkFlap:    "down,up,count,for,jitter",
+	LinkDegrade: "bw,delay,loss,for,jitter",
 }
 
 // parseEvent parses one "at <t> <kind> <args...> [k=v...]" line.
@@ -163,47 +186,79 @@ func parseEvent(fields []string) (Event, error) {
 	default:
 		return e, fmt.Errorf("unknown fault kind %q", fields[2])
 	}
+	allowed := eventOptions[e.Kind]
+	duration := func(k, v string) (simcore.Duration, error) {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("bad %s=%q", k, v)
+		}
+		return d, nil
+	}
+	factor := func(k, v string) (float64, error) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("bad %s=%q", k, v)
+		}
+		return f, nil
+	}
 	for _, opt := range rest {
 		k, v, ok := strings.Cut(opt, "=")
 		if !ok {
 			return e, fmt.Errorf("bad option %q (want key=value)", opt)
 		}
+		if !optionAllowed(allowed, k) {
+			return e, fmt.Errorf("option %q does not apply to %s", k, fields[2])
+		}
 		switch k {
 		case "for":
-			if e.For, err = time.ParseDuration(v); err != nil {
-				return e, fmt.Errorf("bad for=%q: %v", v, err)
+			if e.For, err = duration(k, v); err != nil {
+				return e, err
 			}
 		case "jitter":
-			if e.Jitter, err = time.ParseDuration(v); err != nil {
-				return e, fmt.Errorf("bad jitter=%q: %v", v, err)
+			if e.Jitter, err = duration(k, v); err != nil {
+				return e, err
 			}
 		case "down":
-			if e.Down, err = time.ParseDuration(v); err != nil {
-				return e, fmt.Errorf("bad down=%q: %v", v, err)
+			if e.Down, err = duration(k, v); err != nil {
+				return e, err
 			}
 		case "up":
-			if e.Up, err = time.ParseDuration(v); err != nil {
-				return e, fmt.Errorf("bad up=%q: %v", v, err)
+			if e.Up, err = duration(k, v); err != nil {
+				return e, err
 			}
 		case "count":
 			if e.Count, err = strconv.Atoi(v); err != nil {
 				return e, fmt.Errorf("bad count=%q: %v", v, err)
 			}
 		case "bw":
-			if e.BWFactor, err = strconv.ParseFloat(v, 64); err != nil {
-				return e, fmt.Errorf("bad bw=%q: %v", v, err)
+			if e.BWFactor, err = factor(k, v); err != nil {
+				return e, err
 			}
 		case "delay":
-			if e.DelayFactor, err = strconv.ParseFloat(v, 64); err != nil {
-				return e, fmt.Errorf("bad delay=%q: %v", v, err)
+			if e.DelayFactor, err = factor(k, v); err != nil {
+				return e, err
 			}
 		case "loss":
-			if e.Loss, err = strconv.ParseFloat(v, 64); err != nil {
-				return e, fmt.Errorf("bad loss=%q: %v", v, err)
+			if e.Loss, err = factor(k, v); err != nil {
+				return e, err
+			}
+			if e.Loss < 0 || e.Loss > 1 {
+				return e, fmt.Errorf("bad loss=%q (want 0..1)", v)
 			}
 		default:
 			return e, fmt.Errorf("unknown option %q for %s", k, fields[2])
 		}
 	}
 	return e, nil
+}
+
+// optionAllowed reports whether k appears in the comma-joined allow
+// list.
+func optionAllowed(allowed, k string) bool {
+	for _, a := range strings.Split(allowed, ",") {
+		if a == k {
+			return true
+		}
+	}
+	return false
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"microgrid/internal/metrics"
+	"microgrid/internal/scenario"
 )
 
 // Experiment is the outcome of reproducing one paper table or figure.
@@ -36,30 +37,44 @@ func (e *Experiment) MetricKeys() []string {
 // matches the paper where tractable.
 type ExperimentFunc func(quick bool) (*Experiment, error)
 
-// Registry of all experiments, in paper order.
-func Experiments() []struct {
+// ExperimentInfo is one registry entry: the figure id, its one-line
+// description (sourced from the representative scenario's metadata, so
+// `mgrid -list` and the scenario files can never drift apart), the
+// scenario itself, and the analysis function that runs the arms.
+type ExperimentInfo struct {
+	// ID is the figure identifier ("fig05", "fig10", "chaos-crash", ...).
 	ID string
+	// Desc is the scenario's Description, for listings.
+	Desc string
+	// Scenario returns the experiment's representative scenario. Multi-arm
+	// experiments derive their variants (emulated/physical, fault/no-fault)
+	// from this base.
+	Scenario func() *scenario.Scenario
+	// Fn runs the experiment.
 	Fn ExperimentFunc
-} {
-	return []struct {
-		ID string
-		Fn ExperimentFunc
-	}{
-		{"fig05", Fig05Memory},
-		{"fig06", Fig06CPUFraction},
-		{"fig07", Fig07QuantaDistribution},
-		{"fig08", Fig08NetworkModel},
-		{"fig09", Fig09Configurations},
-		{"fig10", Fig10NPBClassA},
-		{"fig11", Fig11QuantumSweep},
-		{"fig12", Fig12CPUScaling},
-		{"fig14", Fig14VBNSDegrade},
-		{"fig15", Fig15EmulationRates},
-		{"fig16", Fig16Cactus},
-		{"fig17", Fig17Autopilot},
-		{"chaos-crash", ChaosCrash},
-		{"chaos-flap", ChaosFlap},
-		{"chaos-worker", ChaosWorker},
+}
+
+// Registry of all experiments, in paper order.
+func Experiments() []ExperimentInfo {
+	mk := func(id string, sc func() *scenario.Scenario, fn ExperimentFunc) ExperimentInfo {
+		return ExperimentInfo{ID: id, Desc: sc().Description, Scenario: sc, Fn: fn}
+	}
+	return []ExperimentInfo{
+		mk("fig05", Fig05Scenario, Fig05Memory),
+		mk("fig06", Fig06Scenario, Fig06CPUFraction),
+		mk("fig07", Fig07Scenario, Fig07QuantaDistribution),
+		mk("fig08", Fig08Scenario, Fig08NetworkModel),
+		mk("fig09", Fig09Scenario, Fig09Configurations),
+		mk("fig10", Fig10Scenario, Fig10NPBClassA),
+		mk("fig11", Fig11Scenario, Fig11QuantumSweep),
+		mk("fig12", Fig12Scenario, Fig12CPUScaling),
+		mk("fig14", Fig14Scenario, Fig14VBNSDegrade),
+		mk("fig15", Fig15Scenario, Fig15EmulationRates),
+		mk("fig16", Fig16Scenario, Fig16Cactus),
+		mk("fig17", Fig17Scenario, Fig17Autopilot),
+		mk("chaos-crash", ChaosCrashScenario, ChaosCrash),
+		mk("chaos-flap", ChaosFlapScenario, ChaosFlap),
+		mk("chaos-worker", ChaosWorkerScenario, ChaosWorker),
 	}
 }
 

@@ -4,21 +4,33 @@ import (
 	"fmt"
 
 	"microgrid/internal/autopilot"
-	"microgrid/internal/cactus"
 	"microgrid/internal/metrics"
 	"microgrid/internal/npb"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 )
 
-// runCactus executes WaveToy on a grid built from cfg.
-func runCactus(cfg BuildConfig, edge, steps int) (*Report, error) {
-	m, err := Build(cfg)
-	if err != nil {
-		return nil, err
+// fig16Scenario is one CACTUS WaveToy arm: physical or emulated at the
+// validation rate.
+func fig16Scenario(edge, steps int, emulated bool) *scenario.Scenario {
+	s := &scenario.Scenario{
+		Name:     "fig16-cactus",
+		Seed:     16,
+		Target:   machineSpec(AlphaCluster),
+		Workload: &scenario.Workload{Kind: "cactus", Edge: edge, Steps: steps},
 	}
-	return m.RunApp(fmt.Sprintf("wavetoy-%d", edge), func(ctx *AppContext) error {
-		return cactus.RunWaveToy(ctx.Comm, cactus.Params{GridEdge: edge, Steps: steps})
-	}, RunOptions{})
+	if emulated {
+		emulateOn(s, AlphaCluster, fig10Rate)
+	}
+	return s
+}
+
+// Fig16Scenario is the representative Fig. 16 arm: WaveToy at grid edge
+// 250, emulated.
+func Fig16Scenario() *scenario.Scenario {
+	s := fig16Scenario(250, 100, true)
+	s.Description = "CACTUS WaveToy at grid edges 50 and 250: physical vs MicroGrid"
+	return s
 }
 
 // Fig16Cactus reproduces the full-application validation (Fig. 16):
@@ -36,14 +48,11 @@ func Fig16Cactus(quick bool) (*Experiment, error) {
 	m := map[string]float64{}
 	worst := 0.0
 	for _, edge := range edges {
-		pr, err := runCactus(BuildConfig{Seed: 16, Target: AlphaCluster}, edge, steps)
+		pr, err := RunScenario(fig16Scenario(edge, steps, false))
 		if err != nil {
 			return nil, err
 		}
-		er, err := runCactus(BuildConfig{
-			Seed: 16, Target: AlphaCluster,
-			Emulation: &AlphaCluster, Rate: fig10Rate,
-		}, edge, steps)
+		er, err := RunScenario(fig16Scenario(edge, steps, true))
 		if err != nil {
 			return nil, err
 		}
@@ -66,19 +75,40 @@ func Fig16Cactus(quick bool) (*Experiment, error) {
 	}, nil
 }
 
-// runNPBTraced runs a kernel with an Autopilot sensor attached to its
-// iteration counter on rank 0, sampled every virtual second.
-func runNPBTraced(cfg BuildConfig, bench string, class npb.Class, period simcore.Duration) ([]autopilot.Sample, *Report, error) {
-	m, err := Build(cfg)
+// fig17Scenario is one Autopilot-traced arm: the kernel plus the virtual
+// sampling period ride in the scenario's workload.
+func fig17Scenario(bench string, class npb.Class, period simcore.Duration, emulated bool, rate float64) *scenario.Scenario {
+	s := npbScenario("fig17-autopilot", 17, AlphaCluster, bench, class)
+	s.Workload.SamplePeriod = period
+	if emulated {
+		emulateOn(s, AlphaCluster, rate)
+	}
+	return s
+}
+
+// Fig17Scenario is the representative Fig. 17 arm: EP class A emulated
+// at the paper's 4% CPU rate, sampled every virtual second.
+func Fig17Scenario() *scenario.Scenario {
+	s := fig17Scenario("EP", npb.ClassA, simcore.Second, true, 0.04)
+	s.Description = "Autopilot counter traces, physical vs MicroGrid, compared by RMS skew"
+	return s
+}
+
+// runNPBTraced runs the scenario's kernel with an Autopilot sensor
+// attached to its iteration counter on rank 0, sampled every
+// Workload.SamplePeriod of virtual time.
+func runNPBTraced(s *scenario.Scenario) ([]autopilot.Sample, *Report, error) {
+	m, err := BuildScenario(s)
 	if err != nil {
 		return nil, nil, err
 	}
-	fn, err := npb.Get(bench)
+	w := s.Workload
+	fn, err := npb.Get(w.Bench)
 	if err != nil {
 		return nil, nil, err
 	}
-	sensorName := bench + "-counter"
-	report, err := m.RunApp("traced-"+bench, func(ctx *AppContext) error {
+	sensorName := w.Bench + "-counter"
+	report, err := m.RunApp("traced-"+w.Bench, func(ctx *AppContext) error {
 		var sensor *autopilot.Sensor
 		if ctx.Comm.Rank() == 0 {
 			sensor = ctx.Collector.Register(sensorName)
@@ -93,8 +123,8 @@ func runNPBTraced(cfg BuildConfig, bench string, class npb.Class, period simcore
 				sensor.Set(float64(iter + 1))
 			}
 		}}
-		return fn(ctx.Comm, npb.Params{Class: class, Hooks: hooks})
-	}, RunOptions{SamplePeriod: period})
+		return fn(ctx.Comm, npb.Params{Class: npb.Class(w.Class), Hooks: hooks})
+	}, ScenarioRunOptions(s))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,14 +155,11 @@ func Fig17Autopilot(quick bool) (*Experiment, error) {
 		"bench", "samples", "rms_skew_%")
 	m := map[string]float64{}
 	for _, j := range jobs {
-		physTrace, _, err := runNPBTraced(BuildConfig{Seed: 17, Target: AlphaCluster}, j.bench, j.class, period)
+		physTrace, _, err := runNPBTraced(fig17Scenario(j.bench, j.class, period, false, 0))
 		if err != nil {
 			return nil, fmt.Errorf("fig17 %s physical: %w", j.bench, err)
 		}
-		emuTrace, _, err := runNPBTraced(BuildConfig{
-			Seed: 17, Target: AlphaCluster,
-			Emulation: &AlphaCluster, Rate: rate,
-		}, j.bench, j.class, period)
+		emuTrace, _, err := runNPBTraced(fig17Scenario(j.bench, j.class, period, true, rate))
 		if err != nil {
 			return nil, fmt.Errorf("fig17 %s emulated: %w", j.bench, err)
 		}

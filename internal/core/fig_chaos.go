@@ -5,10 +5,10 @@ import (
 	"fmt"
 
 	"microgrid/internal/chaos"
-	"microgrid/internal/globus"
 	"microgrid/internal/metrics"
 	"microgrid/internal/mpi"
 	"microgrid/internal/npb"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
 	"microgrid/internal/virtual"
@@ -24,37 +24,37 @@ import (
 // the measured completion-time inflation of recovery against the
 // measured cost (or hang) of failing without it.
 
-// runNPBChaos is runNPB plus an optional fault schedule (armed between
-// Build and RunApp). Failure arms get the partial report back alongside
-// the error so the cost of giving up is still measured.
-func runNPBChaos(cfg BuildConfig, bench string, class npb.Class, sched string, opts RunOptions) (*Report, error) {
-	m, err := Build(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if sched != "" {
-		s, err := chaos.ParseScheduleString(sched)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := m.ArmChaos(s); err != nil {
-			return nil, err
-		}
-	}
-	fn, err := npb.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	return m.RunApp(fmt.Sprintf("%s.%c.%d", bench, class, cfg.Target.Procs),
-		func(ctx *AppContext) error {
-			return fn(ctx.Comm, npb.Params{Class: class})
-		}, opts)
-}
-
 // frac scales a measured duration (for placing faults and deadlines
 // relative to the undisturbed run time).
 func frac(d simcore.Duration, f float64) simcore.Duration {
 	return simcore.Duration(f * float64(d))
+}
+
+// ChaosCrashScenario is the chaos-crash base: NPB BT on five hosts with
+// four ranks (one spare for failover). Arms add the fault schedule and
+// the retry policy.
+func ChaosCrashScenario() *scenario.Scenario {
+	s := npbScenario("chaos-crash", 21, AlphaCluster.WithProcs(5), "BT", npb.ClassW)
+	s.Description = "host crash during NPB BT: gatekeeper failover vs measured failure"
+	s.Workload.Ranks = 4
+	return s
+}
+
+// chaosCrashArm runs one chaos-crash arm. Failure arms get the partial
+// report back alongside the error so the cost of giving up is still
+// measured.
+func chaosCrashArm(class npb.Class, sched string, retry *scenario.RetrySpec) (*Report, error) {
+	s := ChaosCrashScenario()
+	s.Workload.Class = byte(class)
+	s.Retry = retry
+	if sched != "" {
+		cs, err := chaos.ParseScheduleString(sched)
+		if err != nil {
+			return nil, err
+		}
+		s.Chaos = cs
+	}
+	return RunScenario(s)
 }
 
 // ChaosCrash kills a host mid-way through NPB BT and measures the
@@ -66,11 +66,7 @@ func ChaosCrash(quick bool) (*Experiment, error) {
 	if quick {
 		class = npb.ClassS
 	}
-	// Five hosts, four ranks: one spare for failover.
-	cfg := BuildConfig{Seed: 21, Target: AlphaCluster.WithProcs(5)}
-	opts := RunOptions{Ranks: 4}
-
-	baseRep, err := runNPBChaos(cfg, "BT", class, "", opts)
+	baseRep, err := chaosCrashArm(class, "", nil)
 	if err != nil {
 		return nil, fmt.Errorf("chaos-crash baseline: %w", err)
 	}
@@ -78,23 +74,19 @@ func ChaosCrash(quick bool) (*Experiment, error) {
 	// vm1 runs rank 1 (vm0 also hosts the Globus client — keep it up).
 	sched := fmt.Sprintf("schedule host-crash\nat %s crash vm1\n", frac(base, 0.35))
 
-	pol := globus.SubmitRetryPolicy{
+	retry := &scenario.RetrySpec{
 		StatusTimeout: frac(base, 1.5),
 		MaxAttempts:   3,
 		Backoff:       100 * simcore.Millisecond,
 	}
-	recOpts := opts
-	recOpts.SubmitPolicy = &pol
-	recRep, err := runNPBChaos(cfg, "BT", class, sched, recOpts)
+	recRep, err := chaosCrashArm(class, sched, retry)
 	if err != nil {
 		return nil, fmt.Errorf("chaos-crash recovery: %w", err)
 	}
 
-	noRetry := pol
+	noRetry := *retry
 	noRetry.MaxAttempts = 1
-	failOpts := opts
-	failOpts.SubmitPolicy = &noRetry
-	failRep, failErr := runNPBChaos(cfg, "BT", class, sched, failOpts)
+	failRep, failErr := chaosCrashArm(class, sched, &noRetry)
 	if failErr == nil {
 		return nil, fmt.Errorf("chaos-crash: recovery-disabled run unexpectedly succeeded")
 	}
@@ -127,6 +119,31 @@ func ChaosCrash(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// chaosFlapScenario is the chaos-flap base: NPB MG split two-and-two
+// across the vBNS testbed.
+func chaosFlapScenario() (*scenario.Scenario, error) {
+	spec, err := topology.VBNSSpec(topology.VBNSConfig{HostsPerSite: 2})
+	if err != nil {
+		return nil, err
+	}
+	s := npbScenario("chaos-flap", 22, AlphaCluster, "MG", npb.ClassW)
+	s.Topology = spec
+	s.HostRanks = []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"}
+	return s, nil
+}
+
+// ChaosFlapScenario is the registered chaos-flap base scenario.
+func ChaosFlapScenario() *scenario.Scenario {
+	s, err := chaosFlapScenario()
+	if err != nil {
+		// The built-in vBNS shape is statically valid; an error here is a
+		// programming bug, not an input problem.
+		panic(err)
+	}
+	s.Description = "WAN link flap on the vBNS testbed: retransmission vs partition"
+	return s
+}
+
 // ChaosFlap runs NPB MG across the vBNS testbed while the backbone link
 // flaps: TCP retransmission rides out the short outages at a measured
 // completion-time cost. A permanent cut of the same link is the measured
@@ -137,37 +154,51 @@ func ChaosFlap(quick bool) (*Experiment, error) {
 	if quick {
 		class = npb.ClassS
 	}
-	spec, err := topology.VBNSSpec(topology.VBNSConfig{HostsPerSite: 2})
+	arm := func(sched string) (*scenario.Scenario, error) {
+		s, err := chaosFlapScenario()
+		if err != nil {
+			return nil, err
+		}
+		s.Workload.Class = byte(class)
+		if sched != "" {
+			cs, err := chaos.ParseScheduleString(sched)
+			if err != nil {
+				return nil, err
+			}
+			s.Chaos = cs
+		}
+		return s, nil
+	}
+
+	baseSc, err := arm("")
 	if err != nil {
 		return nil, err
 	}
-	cfg := BuildConfig{
-		Seed:      22,
-		Target:    AlphaCluster,
-		Topo:      spec,
-		HostRanks: []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"},
-	}
-
-	baseRep, err := runNPBChaos(cfg, "MG", class, "", RunOptions{})
+	baseRep, err := RunScenario(baseSc)
 	if err != nil {
 		return nil, fmt.Errorf("chaos-flap baseline: %w", err)
 	}
 	base := baseRep.VirtualElapsed
 
-	flapSched := fmt.Sprintf(
+	flapSc, err := arm(fmt.Sprintf(
 		"schedule wan-flap\nat %s flap vbns-west vbns-east down=200ms up=300ms count=2\n",
-		frac(base, 0.3))
-	flapRep, err := runNPBChaos(cfg, "MG", class, flapSched, RunOptions{})
+		frac(base, 0.3)))
+	if err != nil {
+		return nil, err
+	}
+	flapRep, err := RunScenario(flapSc)
 	if err != nil {
 		return nil, fmt.Errorf("chaos-flap flap arm: %w", err)
 	}
 
-	cutSched := fmt.Sprintf("schedule wan-cut\nat %s linkdown vbns-west vbns-east\n", frac(base, 0.3))
+	cutSc, err := arm(fmt.Sprintf("schedule wan-cut\nat %s linkdown vbns-west vbns-east\n", frac(base, 0.3)))
+	if err != nil {
+		return nil, err
+	}
 	bound := frac(base, 2.5) + 5*simcore.Second // past the transport's retransmission cap
-	failRep, failErr := runNPBChaos(cfg, "MG", class, cutSched, RunOptions{
-		SubmitPolicy: &globus.SubmitRetryPolicy{StatusTimeout: bound, MaxAttempts: 1},
-		MaxWallTime:  bound,
-	})
+	cutSc.Workload.MaxWallTime = bound
+	cutSc.Retry = &scenario.RetrySpec{StatusTimeout: bound, MaxAttempts: 1}
+	failRep, failErr := RunScenario(cutSc)
 	if failErr == nil {
 		return nil, fmt.Errorf("chaos-flap: blackout arm unexpectedly succeeded")
 	}
@@ -198,12 +229,29 @@ func ChaosFlap(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// ChaosWorkerScenario defines the farm's grid and workload: five
+// Alpha-class hosts on a LAN, a self-scheduling master/worker sweep of
+// 240 units. The arms toggle fault tolerance and the crash schedule.
+func ChaosWorkerScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "chaos-worker",
+		Description: "worker crash under the self-scheduling farm: re-dispatch vs hang",
+		Seed:        23,
+		Target:      machineSpec(AlphaCluster.WithProcs(5)),
+		Workload: &scenario.Workload{
+			Kind: "workqueue", Units: 240, OpsPerUnit: 1e7,
+			Policy: "self", FaultTolerant: true, LostTimeout: simcore.Second,
+		},
+	}
+}
+
 // ChaosWorker crashes a worker under the self-scheduling master/worker
 // farm. The fault-tolerant master re-dispatches the lost chunks and
 // finishes late; the plain master waits forever for the lost report and
 // the engine convicts the hang deterministically.
 func ChaosWorker(quick bool) (*Experiment, error) {
-	units, ops := 240, 1e7
+	sc := ChaosWorkerScenario()
+	units, ops := sc.Workload.Units, sc.Workload.OpsPerUnit
 	if quick {
 		units, ops = 60, 2e7
 	}
@@ -214,13 +262,18 @@ func ChaosWorker(quick bool) (*Experiment, error) {
 		deadlock *simcore.DeadlockError
 		hungAt   simcore.Time
 	}
+	// The farm drives mpi.LaunchWith directly (the workqueue needs
+	// SkipExitBarrier on fault-tolerant runs, which RunApp does not
+	// expose), but every parameter comes from the scenario.
 	farm := func(ft bool, sched string) (*armOut, error) {
-		eng := simcore.NewEngine(23)
-		g, err := virtual.NewLANGrid(eng, "vm", 5, 533, 533, 100e6, 25*simcore.Microsecond, 0, true, 0)
+		eng := simcore.NewEngine(sc.Seed)
+		t := sc.Target
+		g, err := virtual.NewLANGrid(eng, "vm", t.Procs, t.CPUMIPS, t.CPUMIPS,
+			t.NetBandwidthBps, t.NetPerSideDelay, 0, true, 0)
 		if err != nil {
 			return nil, err
 		}
-		hosts := make([]*virtual.Host, 5)
+		hosts := make([]*virtual.Host, t.Procs)
 		for i := range hosts {
 			hosts[i] = g.Host(fmt.Sprintf("vm%d", i))
 		}
@@ -236,7 +289,7 @@ func ChaosWorker(quick bool) (*Experiment, error) {
 		}
 		cfg := workqueue.Config{
 			Units: units, OpsPerUnit: ops, Policy: workqueue.SelfScheduling,
-			FaultTolerant: ft, LostTimeout: simcore.Second,
+			FaultTolerant: ft, LostTimeout: sc.Workload.LostTimeout,
 		}
 		out := &armOut{}
 		w, err := mpi.LaunchWith(g, hosts, "farm", 0,

@@ -6,8 +6,20 @@ import (
 	"microgrid/internal/cpusched"
 	"microgrid/internal/memmodel"
 	"microgrid/internal/metrics"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 )
+
+// Fig05Scenario carries the Fig. 5 metadata; the memory model is probed
+// analytically, with no engine run.
+func Fig05Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "fig05-memory",
+		Description: "memory capacity enforcement: max allocation vs specified limit",
+		Seed:        5,
+		Target:      machineSpec(AlphaCluster),
+	}
+}
 
 // Fig05Memory reproduces the memory micro-benchmark (paper §3.2.1,
 // Fig. 5): across specified limits from 1 KB to 1 MB, a process can
@@ -47,11 +59,23 @@ func Fig05Memory(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// Fig06Scenario defines the processor micro-benchmark's machine: the
+// measurement runs one fraction-scheduled host from this spec (seed and
+// CPU speed are sourced from here).
+func Fig06Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "fig06-cpu-fraction",
+		Description: "processor fraction enforcement, alone and under IO/CPU competition",
+		Seed:        6,
+		Target:      machineSpec(AlphaCluster),
+	}
+}
+
 // fig06Measure runs the processor micro-benchmark for one requested
 // fraction under a competition mode, returning the delivered fraction.
-func fig06Measure(fraction float64, competition string, seconds float64) float64 {
-	eng := simcore.NewEngine(6)
-	h := cpusched.NewHost(eng, "alpha", 533, 0)
+func fig06Measure(sc *scenario.Scenario, fraction float64, competition string, seconds float64) float64 {
+	eng := simcore.NewEngine(sc.Seed)
+	h := cpusched.NewHost(eng, "alpha", sc.Target.CPUMIPS, 0)
 	switch competition {
 	case "cpu":
 		cpusched.StartCPUCompetitor(h, "hog")
@@ -91,11 +115,12 @@ func Fig06CPUFraction(quick bool) (*Experiment, error) {
 	}
 	tbl := metrics.NewTable("Fig. 6 — processor fraction enforcement",
 		"specified_%", "none_%", "io_%", "cpu_%")
+	sc := Fig06Scenario()
 	m := map[string]float64{}
 	for _, f := range fractions {
-		none := fig06Measure(f, "none", seconds)
-		io := fig06Measure(f, "io", seconds)
-		cpu := fig06Measure(f, "cpu", seconds)
+		none := fig06Measure(sc, f, "none", seconds)
+		io := fig06Measure(sc, f, "io", seconds)
+		cpu := fig06Measure(sc, f, "cpu", seconds)
 		tbl.AddRow(100*f, 100*none, 100*io, 100*cpu)
 		key := fmt.Sprintf("spec%02.0f", f*100)
 		m[key+"_none"] = 100 * none
@@ -114,6 +139,17 @@ func Fig06CPUFraction(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// Fig07Scenario defines the quanta-distribution machine (seed and CPU
+// speed are sourced from here).
+func Fig07Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "fig07-quanta",
+		Description: "normalized quanta-size distribution under competition (~9000 samples)",
+		Seed:        7,
+		Target:      machineSpec(AlphaCluster),
+	}
+}
+
 // Fig07QuantaDistribution reproduces the quanta-size stability test
 // (Fig. 7): ~9000 samples of the scheduler's enabled-window lengths,
 // normalized to mean 1, under the three competition modes. Paper:
@@ -125,10 +161,11 @@ func Fig07QuantaDistribution(quick bool) (*Experiment, error) {
 	}
 	tbl := metrics.NewTable("Fig. 7 — normalized quanta-size distribution",
 		"competition", "samples", "mean", "stddev")
+	sc := Fig07Scenario()
 	m := map[string]float64{}
 	for _, comp := range []string{"none", "cpu", "io"} {
-		eng := simcore.NewEngine(7)
-		h := cpusched.NewHost(eng, "alpha", 533, 0)
+		eng := simcore.NewEngine(sc.Seed)
+		h := cpusched.NewHost(eng, "alpha", sc.Target.CPUMIPS, 0)
 		// Kernel realism for this measurement: preemption takes a
 		// scheduler-tick-scale latency, and each control action's cost
 		// carries cache/interrupt noise. These are what produce the

@@ -4,11 +4,36 @@ import (
 	"fmt"
 
 	"microgrid/internal/metrics"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 )
 
 // fig08Sizes are the paper's message sizes: 4 B to 256 KB by powers of 4.
 var fig08Sizes = []int{4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// fig08Scenario is one network-model arm: a two-node Alpha/Ethernet
+// grid, direct (the "Ethernet" series) or emulated (the "Mgrid" series).
+func fig08Scenario(emulated bool) *scenario.Scenario {
+	s := &scenario.Scenario{
+		Name:   "fig08-netbench",
+		Seed:   8,
+		Target: machineSpec(AlphaCluster.WithProcs(2)),
+	}
+	if emulated {
+		// Fig. 8 validates the network model itself, so the emulation
+		// runs at full feasible speed (fraction 1): CPU-window
+		// quantization is Fig. 11's subject, not this figure's.
+		emulateOn(s, AlphaCluster.WithProcs(2), 1.0)
+	}
+	return s
+}
+
+// Fig08Scenario is the representative Fig. 8 arm (the emulated series).
+func Fig08Scenario() *scenario.Scenario {
+	s := fig08Scenario(true)
+	s.Description = "NSE network model: MPI latency/bandwidth vs message size, real vs MicroGrid"
+	return s
+}
 
 // fig08Point holds one measured (latency, bandwidth) sample.
 type fig08Point struct {
@@ -16,21 +41,10 @@ type fig08Point struct {
 	mbps      float64 // MB/s, as in the paper's bandwidth chart
 }
 
-// fig08Run executes the MPI latency/bandwidth micro-benchmarks on a
-// two-node Alpha/Ethernet grid — directly (the "Ethernet" series) or
-// under emulation (the "Mgrid" series).
+// fig08Run executes the MPI latency/bandwidth micro-benchmarks on the
+// grid one fig08 arm describes.
 func fig08Run(emulated bool, sizes []int) (map[int]fig08Point, error) {
-	target := AlphaCluster.WithProcs(2)
-	cfg := BuildConfig{Seed: 8, Target: target}
-	if emulated {
-		emu := AlphaCluster.WithProcs(2)
-		cfg.Emulation = &emu
-		// Fig. 8 validates the network model itself, so the emulation
-		// runs at full feasible speed (fraction 1): CPU-window
-		// quantization is Fig. 11's subject, not this figure's.
-		cfg.Rate = 1.0
-	}
-	m, err := Build(cfg)
+	m, err := BuildScenario(fig08Scenario(emulated))
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +177,17 @@ func Fig08NetworkModel(quick bool) (*Experiment, error) {
 			"the MicroGrid-emulated run (rate 1, full feasible speed) in virtual time.",
 		},
 	}, nil
+}
+
+// Fig09Scenario carries the Fig. 9 metadata: the table is regenerated
+// from the built-in machine configurations, no simulation runs.
+func Fig09Scenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:        "fig09-configurations",
+		Description: "virtual grid configurations studied (Alpha cluster, HPVM)",
+		Seed:        9,
+		Target:      machineSpec(AlphaCluster),
+	}
 }
 
 // Fig09Configurations regenerates the virtual grid configurations table

@@ -5,31 +5,37 @@ import (
 
 	"microgrid/internal/metrics"
 	"microgrid/internal/npb"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
 )
 
-// runNPB executes one NPB kernel on a grid built from cfg, returning the
-// run report.
-func runNPB(cfg BuildConfig, bench string, class npb.Class, opts RunOptions) (*Report, error) {
-	m, err := Build(cfg)
-	if err != nil {
-		return nil, err
+// npbScenario is the shared shape of every NPB experiment arm: one
+// kernel run on one virtual machine configuration.
+func npbScenario(name string, seed int64, target MachineConfig, bench string, class npb.Class) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:     name,
+		Seed:     seed,
+		Target:   machineSpec(target),
+		Workload: &scenario.Workload{Kind: "npb", Bench: bench, Class: byte(class)},
 	}
-	fn, err := npb.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	return m.RunApp(fmt.Sprintf("%s.%c.%d", bench, class, cfg.Target.Procs),
-		func(ctx *AppContext) error {
-			return fn(ctx.Comm, npb.Params{Class: class})
-		}, opts)
+}
+
+// emulateOn marks a scenario as MicroGrid-emulated: the named hardware
+// hosts the virtual grid at the given simulation rate.
+func emulateOn(s *scenario.Scenario, hw MachineConfig, rate float64) *scenario.Scenario {
+	s.Emulation = machineSpec(hw)
+	s.Rate = rate
+	return s
 }
 
 // RunNPBOnce builds a grid from cfg and runs one NPB kernel, returning
-// its virtual elapsed time (exported for the ablation benches).
+// its virtual elapsed time (exported for the ablation benches). Like the
+// figure experiments it routes through the scenario layer.
 func RunNPBOnce(cfg BuildConfig, bench string, class npb.Class) (simcore.Duration, error) {
-	r, err := runNPB(cfg, bench, class, RunOptions{})
+	s := scenarioFromBuild(cfg)
+	s.Workload = &scenario.Workload{Kind: "npb", Bench: bench, Class: byte(class)}
+	r, err := RunScenario(s)
 	if err != nil {
 		return 0, err
 	}
@@ -39,18 +45,14 @@ func RunNPBOnce(cfg BuildConfig, bench string, class npb.Class) (simcore.Duratio
 // npbPair runs physical (direct) and MicroGrid (emulated) instances of
 // one benchmark and returns both virtual times.
 func npbPair(target MachineConfig, bench string, class npb.Class, quantum simcore.Duration, rate float64) (phys, emu simcore.Duration, err error) {
-	pr, err := runNPB(BuildConfig{Seed: 10, Target: target}, bench, class, RunOptions{})
+	pr, err := RunScenario(npbScenario("fig10-physical", 10, target, bench, class))
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s physical: %w", bench, err)
 	}
-	emuCfg := BuildConfig{
-		Seed:      10,
-		Target:    target,
-		Emulation: &target, // emulate on hardware identical to the target
-		Rate:      rate,
-		Quantum:   quantum,
-	}
-	er, err := runNPB(emuCfg, bench, class, RunOptions{})
+	// Emulate on hardware identical to the target.
+	es := emulateOn(npbScenario("fig10-emulated", 10, target, bench, class), target, rate)
+	es.Quantum = quantum
+	er, err := RunScenario(es)
 	if err != nil {
 		return 0, 0, fmt.Errorf("%s emulated: %w", bench, err)
 	}
@@ -66,6 +68,16 @@ const fig10Rate = 0.5
 // realistically imperfect deployment (daemons launched within ~a quarter
 // of a duty cycle of each other).
 const fig11Stagger = 0.25
+
+// Fig10Scenario is the representative Fig. 10 arm: NPB BT class A on the
+// Alpha cluster, emulated at half speed. The experiment sweeps both
+// configurations and all five kernels around this shape.
+func Fig10Scenario() *scenario.Scenario {
+	s := emulateOn(npbScenario("fig10-npb-validation", 10, AlphaCluster, "BT", npb.ClassA),
+		AlphaCluster, fig10Rate)
+	s.Description = "NPB class A totals on Alpha cluster and HPVM: physical grid vs MicroGrid"
+	return s
+}
 
 // Fig10NPBClassA reproduces the headline validation (Fig. 10): NPB
 // class A total run times on the Alpha cluster and HPVM configurations,
@@ -118,6 +130,17 @@ func shortName(c MachineConfig) string {
 	return "alpha"
 }
 
+// Fig11Scenario is the representative Fig. 11 arm: NPB MG class S
+// emulated with a 10 ms quantum and staggered daemons.
+func Fig11Scenario() *scenario.Scenario {
+	s := emulateOn(npbScenario("fig11-quantum-sweep", 11, AlphaCluster, "MG", npb.ClassS),
+		AlphaCluster, fig10Rate)
+	s.Description = "scheduling quantum vs modeling accuracy (NPB class S, 2.5-30ms slices)"
+	s.Quantum = 10 * simcore.Millisecond
+	s.Stagger = fig11Stagger
+	return s
+}
+
 // Fig11QuantumSweep reproduces the scheduling-quantum study (Fig. 11):
 // NPB class S totals under MicroGrid slices of 2.5, 5, 10 and 30 ms,
 // against the physical run. The paper: frequently synchronizing codes
@@ -138,23 +161,21 @@ func Fig11QuantumSweep(quick bool) (*Experiment, error) {
 		"bench", "pgrid_s", "slice", "mgrid_s", "err_%")
 	m := map[string]float64{}
 	for _, bench := range benches {
-		pr, err := runNPB(BuildConfig{Seed: 11, Target: AlphaCluster}, bench, npb.ClassS, RunOptions{})
+		pr, err := RunScenario(npbScenario("fig11-physical", 11, AlphaCluster, bench, npb.ClassS))
 		if err != nil {
 			return nil, err
 		}
 		phys := pr.VirtualElapsed
 		m[bench+"_pgrid_s"] = phys.Seconds()
 		for _, q := range quanta {
-			cfg := BuildConfig{
-				Seed: 11, Target: AlphaCluster,
-				Emulation: &AlphaCluster, Rate: fig10Rate, Quantum: q,
-				// The paper's daemons started unsynchronized across
-				// machines; the phase misalignment is what makes the
-				// error scale with the quantum (shorter slice = shorter
-				// misalignment stalls).
-				StaggerSpread: fig11Stagger,
-			}
-			er, err := runNPB(cfg, bench, npb.ClassS, RunOptions{})
+			s := emulateOn(npbScenario("fig11-emulated", 11, AlphaCluster, bench, npb.ClassS),
+				AlphaCluster, fig10Rate)
+			s.Quantum = q
+			// The paper's daemons started unsynchronized across machines;
+			// the phase misalignment is what makes the error scale with the
+			// quantum (shorter slice = shorter misalignment stalls).
+			s.Stagger = fig11Stagger
+			er, err := RunScenario(s)
 			if err != nil {
 				return nil, err
 			}
@@ -175,6 +196,20 @@ func Fig11QuantumSweep(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// fig12SlowNet pins the network at 1 Mb/s with 50 ms host-to-host
+// latency while the CPU scales.
+func fig12SlowNet(c MachineConfig) MachineConfig {
+	return c.WithNetwork("1Mb WAN-ish", 1e6, 25*simcore.Millisecond)
+}
+
+// Fig12Scenario is the representative Fig. 12 arm: NPB MG on the
+// 4×-scaled Alpha cluster over the pinned slow network.
+func Fig12Scenario() *scenario.Scenario {
+	s := npbScenario("fig12-cpu-scaling", 12, fig12SlowNet(AlphaCluster.Scale(4)), "MG", npb.ClassS)
+	s.Description = "CPU-scaling extrapolation (1x-8x) at a fixed 1Mb/s, 50ms network"
+	return s
+}
+
 // Fig12CPUScaling reproduces the technology-extrapolation study
 // (Fig. 12): run times with 1×/2×/4×/8× CPU speed while the network is
 // held at 1 Mb/s with 50 ms latency, normalized to 1×. EP speeds up
@@ -186,17 +221,14 @@ func Fig12CPUScaling(quick bool) (*Experiment, error) {
 		benches = []string{"MG", "EP"}
 		factors = []float64{1, 4}
 	}
-	slowNet := func(c MachineConfig) MachineConfig {
-		return c.WithNetwork("1Mb WAN-ish", 1e6, 25*simcore.Millisecond)
-	}
 	tbl := metrics.NewTable("Fig. 12 — total run times varying only the virtual CPU",
 		"bench", "cpu_x", "time_s", "normalized")
 	m := map[string]float64{}
 	for _, bench := range benches {
 		var base float64
 		for _, f := range factors {
-			target := slowNet(AlphaCluster.Scale(f))
-			r, err := runNPB(BuildConfig{Seed: 12, Target: target}, bench, npb.ClassS, RunOptions{})
+			target := fig12SlowNet(AlphaCluster.Scale(f))
+			r, err := RunScenario(npbScenario("fig12-cpu-scaling", 12, target, bench, npb.ClassS))
 			if err != nil {
 				return nil, err
 			}
@@ -221,6 +253,35 @@ func Fig12CPUScaling(quick bool) (*Experiment, error) {
 	}, nil
 }
 
+// fig14Scenario places a 4-rank NPB job two-and-two across the fictional
+// vBNS testbed with the given backbone bandwidth.
+func fig14Scenario(bench string, wanBps float64) (*scenario.Scenario, error) {
+	spec, err := topology.VBNSSpec(topology.VBNSConfig{
+		HostsPerSite:  2,
+		BottleneckBps: wanBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := npbScenario("fig14-vbns-degrade", 14, AlphaCluster, bench, npb.ClassS)
+	s.Topology = spec
+	s.HostRanks = []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"}
+	return s, nil
+}
+
+// Fig14Scenario is the representative Fig. 14 arm: NPB LU over the vBNS
+// testbed at the full OC-12 backbone.
+func Fig14Scenario() *scenario.Scenario {
+	s, err := fig14Scenario("LU", topology.OC12Bps)
+	if err != nil {
+		// The built-in vBNS shape is statically valid; an error here is a
+		// programming bug, not an input problem.
+		panic(err)
+	}
+	s.Description = "NPB class S over the vBNS testbed, WAN link varied 622/155/10 Mb/s"
+	return s
+}
+
 // Fig14VBNSDegrade reproduces the wide-area study (Figs. 13–14): 4-process
 // NPB jobs with two processes at UCSD and two at UIUC across the fictional
 // vBNS testbed, varying the major WAN link through 622, 155 and 10 Mb/s.
@@ -238,20 +299,11 @@ func Fig14VBNSDegrade(quick bool) (*Experiment, error) {
 	m := map[string]float64{}
 	for _, bench := range benches {
 		for _, bw := range bandwidths {
-			spec, err := topology.VBNSSpec(topology.VBNSConfig{
-				HostsPerSite:  2,
-				BottleneckBps: bw,
-			})
+			s, err := fig14Scenario(bench, bw)
 			if err != nil {
 				return nil, err
 			}
-			cfg := BuildConfig{
-				Seed:      14,
-				Target:    AlphaCluster, // per-host CPU/memory specs
-				Topo:      spec,
-				HostRanks: []string{"ucsd0", "ucsd1", "uiuc0", "uiuc1"},
-			}
-			r, err := runNPB(cfg, bench, npb.ClassS, RunOptions{})
+			r, err := RunScenario(s)
 			if err != nil {
 				return nil, err
 			}
@@ -269,6 +321,15 @@ func Fig14VBNSDegrade(quick bool) (*Experiment, error) {
 			"Paper: only mildly bandwidth-sensitive; latency dominates except for EP.",
 		},
 	}, nil
+}
+
+// Fig15Scenario is the representative Fig. 15 arm: NPB MG class A
+// emulated at the base (1× slowdown) rate.
+func Fig15Scenario() *scenario.Scenario {
+	s := emulateOn(npbScenario("fig15-rate-invariance", 15, AlphaCluster, "MG", npb.ClassA),
+		AlphaCluster, fig10Rate)
+	s.Description = "emulation-rate invariance: identical virtual times at 1x-8x slowdown"
+	return s
 }
 
 // Fig15EmulationRates reproduces the rate-invariance study (Fig. 15): the
@@ -290,11 +351,9 @@ func Fig15EmulationRates(quick bool) (*Experiment, error) {
 		var base float64
 		for _, slow := range slowdowns {
 			rate := fig10Rate / slow
-			cfg := BuildConfig{
-				Seed: 15, Target: AlphaCluster,
-				Emulation: &AlphaCluster, Rate: rate,
-			}
-			r, err := runNPB(cfg, bench, class, RunOptions{})
+			s := emulateOn(npbScenario("fig15-rate-invariance", 15, AlphaCluster, bench, class),
+				AlphaCluster, rate)
+			r, err := RunScenario(s)
 			if err != nil {
 				return nil, err
 			}

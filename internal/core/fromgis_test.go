@@ -153,6 +153,55 @@ func TestBuildFromGISErrors(t *testing.T) {
 	}
 }
 
+// badHostServer builds a one-host directory with the given host entry
+// fields, for exercising the per-record validation paths.
+func badHostServer(h gis.VirtualHost) *gis.Server {
+	s := gis.NewServer()
+	s.Upsert(h.Entry())
+	return s
+}
+
+func TestBuildFromGISRecordErrors(t *testing.T) {
+	base := gis.VirtualHost{
+		Hostname: "x", OrgUnit: "O", ConfigName: "C",
+		MappedPhysical: "p", CPUSpeedMIPS: 100, MemoryBytes: 1 << 20,
+		VirtualIP: "1.11.11.1",
+	}
+
+	empty := gis.NewServer()
+	if _, err := BuildFromGIS(empty, "C", GISBuildOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no virtual hosts") {
+		t.Fatalf("empty directory: %v", err)
+	}
+
+	badIP := base
+	badIP.VirtualIP = "not-an-ip"
+	if _, err := BuildFromGIS(badHostServer(badIP), "C", GISBuildOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "host x") {
+		t.Fatalf("malformed Virtual_IP: %v", err)
+	}
+
+	noCPU := base
+	noCPU.CPUSpeedMIPS = 0
+	if _, err := BuildFromGIS(badHostServer(noCPU), "C", GISBuildOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no CpuSpeed") {
+		t.Fatalf("missing CpuSpeed: %v", err)
+	}
+
+	noPhys := base
+	noPhys.MappedPhysical = ""
+	if _, err := BuildFromGIS(badHostServer(noPhys), "C", GISBuildOptions{
+		PhysMIPS: map[string]float64{"p": 533},
+	}); err == nil || !strings.Contains(err.Error(), "Mapped_Physical_Resource") {
+		t.Fatalf("missing physical mapping: %v", err)
+	}
+
+	// The same record builds fine in direct mode: no mapping needed.
+	if _, err := BuildFromGIS(badHostServer(noPhys), "C", GISBuildOptions{}); err != nil {
+		t.Fatalf("direct mode should not need a mapping: %v", err)
+	}
+}
+
 func TestBuildFromGISInfeasibleRate(t *testing.T) {
 	s := ldifServer(t)
 	if _, err := BuildFromGIS(s, "Test_Config", GISBuildOptions{

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"microgrid/internal/scenario"
+	"microgrid/internal/simcore"
+	"microgrid/internal/topology"
+	"microgrid/internal/trace"
+)
+
+// The declarative and imperative build descriptions must be exact
+// inverses: lifting a BuildConfig into a scenario and lowering it back
+// reproduces every field, so experiments routed through the scenario
+// layer build bit-identical grids.
+func TestScenarioBuildConfigRoundTrip(t *testing.T) {
+	emu := HPVM
+	topo := &topology.Spec{Name: "t"}
+	cfg := BuildConfig{
+		Seed:            42,
+		Target:          AlphaCluster,
+		Emulation:       &emu,
+		Rate:            0.5,
+		Quantum:         10 * simcore.Millisecond,
+		Topo:            topo,
+		HostRanks:       []string{"a", "b"},
+		SendOverheadOps: 17e3,
+		PerByteOps:      3.2,
+		StaggerSpread:   0.25,
+		FlowNetwork:     true,
+		Trace:           &TraceConfig{Mask: trace.CatAll, BufSize: 128},
+	}
+	got := buildConfig(scenarioFromBuild(cfg))
+	if !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("round trip changed the config:\n got %+v\nwant %+v", got, cfg)
+	}
+	// And the machine conversion alone round-trips too.
+	if got := machineConfig(machineSpec(HPVM)); !reflect.DeepEqual(got, HPVM) {
+		t.Fatalf("machine round trip: %+v", got)
+	}
+}
+
+func TestBuildScenarioErrors(t *testing.T) {
+	// A scenario with neither a target machine nor a GIS reference
+	// defines no grid.
+	if _, err := BuildScenario(&scenario.Scenario{Name: "empty", Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "no virtual grid") {
+		t.Fatalf("gridless scenario: %v", err)
+	}
+
+	// A GIS reference to a missing LDIF file reports the scenario name.
+	missing := &scenario.Scenario{
+		Name: "lost", Seed: 1,
+		GIS: &scenario.GISRef{File: "no-such.ldif", Config: "C"},
+	}
+	if _, err := BuildScenarioEnv(missing, ScenarioEnv{BaseDir: t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), `scenario "lost"`) {
+		t.Fatalf("missing LDIF: %v", err)
+	}
+
+	// A malformed LDIF file reports both the scenario and the file.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ldif")
+	if err := os.WriteFile(bad, []byte("dn: hn=x\nCpuSpeed 533\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken := &scenario.Scenario{
+		Name: "broken", Seed: 1,
+		GIS: &scenario.GISRef{File: "bad.ldif", Config: "C"},
+	}
+	if _, err := BuildScenarioEnv(broken, ScenarioEnv{BaseDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "bad.ldif") {
+		t.Fatalf("malformed LDIF: %v", err)
+	}
+}
+
+func TestRunWorkloadErrors(t *testing.T) {
+	s := &scenario.Scenario{Name: "w", Seed: 1, Target: machineSpec(AlphaCluster)}
+	m, err := BuildScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunWorkload(s); err == nil ||
+		!strings.Contains(err.Error(), "names no workload") {
+		t.Fatalf("nil workload: %v", err)
+	}
+	s.Workload = &scenario.Workload{Kind: "quantum-annealing"}
+	if _, err := m.RunWorkload(s); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload kind") {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	s.Workload = &scenario.Workload{Kind: "npb", Bench: "ZZ", Class: 'S'}
+	if _, err := m.RunWorkload(s); err == nil {
+		t.Fatal("unknown NPB bench accepted")
+	}
+}
+
+// The committed example scenario — machine spec, NPB workload, retry
+// policy and a chaos schedule in one file — must run end to end through
+// the generic path, ride out the mid-run host crash via gatekeeper
+// failover, and reproduce the same virtual-time result on every run.
+func TestCommittedChaosScenario(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "custom-scenario", "faulty-cluster.scenario")
+	run := func() *Report {
+		s, err := scenario.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Chaos == nil || len(s.Chaos.Events) == 0 {
+			t.Fatal("scenario carries no chaos schedule")
+		}
+		r, err := RunScenarioEnv(s, ScenarioEnv{BaseDir: filepath.Dir(path)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (crash then failover to the spare host)", a.Attempts)
+	}
+	if a.VirtualElapsed != b.VirtualElapsed || a.JobVirtual != b.JobVirtual || a.Attempts != b.Attempts {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -2,6 +2,7 @@ package gis
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -224,7 +225,10 @@ func ParseSpeed(s string) (bps float64, delay simcore.Duration, err error) {
 	return bps, delay, nil
 }
 
-// FormatSpeed renders a speed attribute value.
+// FormatSpeed renders a speed attribute value. The rendered bandwidth
+// always parses back (ParseBandwidth) to the exact same float64: scaled
+// forms ("100Mbps") are self-checked and fall back to a plain "bps"
+// rendering when the unit division would lose a bit.
 func FormatSpeed(bps float64, delay simcore.Duration) string {
 	bw := ""
 	switch {
@@ -235,6 +239,9 @@ func FormatSpeed(bps float64, delay simcore.Duration) string {
 	case bps >= 1e3:
 		bw = fmt.Sprintf("%gKbps", bps/1e3)
 	default:
+		bw = fmt.Sprintf("%gbps", bps)
+	}
+	if back, err := ParseBandwidth(bw); err != nil || back != bps {
 		bw = fmt.Sprintf("%gbps", bps)
 	}
 	if delay == 0 {
@@ -259,7 +266,7 @@ func ParseBandwidth(s string) (float64, error) {
 		mult, t = 1e9, t[:len(t)-1]
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
-	if err != nil || v < 0 {
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		return 0, fmt.Errorf("gis: bad bandwidth %q", s)
 	}
 	return v * mult, nil
@@ -275,6 +282,8 @@ func ParseLatency(s string) (simcore.Duration, error) {
 }
 
 // ParseBytes decodes "100MBytes", "512KB", "1GB", "2048" (bytes).
+// Integral counts take an exact integer path (with overflow detection),
+// so any value FormatBytes renders parses back to the same int64.
 func ParseBytes(s string) (int64, error) {
 	t := strings.ToLower(strings.TrimSpace(s))
 	t = strings.TrimSuffix(t, "bytes")
@@ -288,14 +297,22 @@ func ParseBytes(s string) (int64, error) {
 	case strings.HasSuffix(t, "g"):
 		mult, t = 1<<30, t[:len(t)-1]
 	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
-	if err != nil || v < 0 {
+	t = strings.TrimSpace(t)
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		if n < 0 || n > math.MaxInt64/mult {
+			return 0, fmt.Errorf("gis: bad byte size %q", s)
+		}
+		return n * mult, nil
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil || v < 0 || math.IsNaN(v) || v*float64(mult) >= math.MaxInt64 {
 		return 0, fmt.Errorf("gis: bad byte size %q", s)
 	}
 	return int64(v * float64(mult)), nil
 }
 
-// FormatBytes renders a byte count in the record style ("100MBytes").
+// FormatBytes renders a byte count in the record style ("100MBytes");
+// the output always parses back (ParseBytes) to the same count.
 func FormatBytes(n int64) string {
 	switch {
 	case n >= 1<<30 && n%(1<<30) == 0:

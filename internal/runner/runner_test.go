@@ -75,6 +75,47 @@ func TestCampaignParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestScenarioPathByteIdenticalJ1J4 is the acceptance gate for the
+// scenario refactor: every experiment now constructs its grid through
+// the declarative scenario layer, and the full campaign — rendered
+// exactly as cmd/mgrid prints it, plus campaign.json — must be
+// byte-identical between -j 1 and -j 4.
+func TestScenarioPathByteIdenticalJ1J4(t *testing.T) {
+	render := func(results []Result) []byte {
+		var buf bytes.Buffer
+		for _, r := range results {
+			if r.Status != StatusOK {
+				t.Fatalf("%s: %v", r.ID, r.Err)
+			}
+			exp := r.Experiment
+			fmt.Fprintf(&buf, "=== %s — %s\n", exp.ID, exp.Title)
+			buf.WriteString(exp.Table.String())
+			for _, n := range exp.Notes {
+				fmt.Fprintf(&buf, "  note: %s\n", n)
+			}
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	j1 := Run(context.Background(), Campaign(true), Options{Workers: 1})
+	j4 := Run(context.Background(), Campaign(true), Options{Workers: 4})
+	s1, s4 := render(j1), render(j4)
+	if !bytes.Equal(s1, s4) {
+		t.Fatal("rendered stdout differs between -j 1 and -j 4")
+	}
+	c1, err := CampaignJSON(j1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := CampaignJSON(j4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c4) {
+		t.Fatal("campaign.json differs between -j 1 and -j 4")
+	}
+}
+
 // TestSequentialDegeneratesToLoop: with one worker, tasks complete in
 // task order — exactly the old for-loop behavior.
 func TestSequentialDegeneratesToLoop(t *testing.T) {

@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// FuzzParse asserts the parser never panics on arbitrary input and that
+// every accepted scenario survives a serialize→parse round trip
+// unchanged, with the serialized form a fixed point.
+func FuzzParse(f *testing.F) {
+	f.Add(fullText)
+	f.Add("scenario tiny\nseed 0\ntarget procs=1 cpu=1\n")
+	f.Add("scenario g\ngis file=\"g.ldif\" config=\"c\" phys=a:1,b:2.5\n")
+	f.Add("scenario w\ntarget procs=5 cpu=533\nworkload workqueue units=240 ops=1e7 policy=self ft lost=1s\n")
+	f.Add("scenario t\ntarget procs=2 cpu=1 mem=3KBytes net=0.125Mbps delay=1h\ntrace categories=all buf=1\n")
+	f.Add("scenario c\nseed -9223372036854775808\ntarget procs=1 cpu=5e-324\nchaos\nschedule s\nat 1ns degrade a b loss=1\nend\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s1, err := ParseString(text)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out := s1.String()
+		s2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized form does not reparse: %v\ninput: %q\nserialized:\n%s", err, text, out)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("round trip changed the scenario\ninput: %q\nserialized:\n%s\nfirst:  %#v\nsecond: %#v", text, out, s1, s2)
+		}
+		if out2 := s2.String(); out2 != out {
+			t.Fatalf("serialization not a fixed point:\n%q\nvs\n%q", out, out2)
+		}
+	})
+}

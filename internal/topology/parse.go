@@ -4,11 +4,34 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"strconv"
 	"strings"
 
 	"microgrid/internal/gis"
 )
+
+// ParseError is a positioned topology parse failure: the source name
+// (file path or synthetic label), the 1-based line, and the offending
+// token, so "which character of which file" is never a guess.
+type ParseError struct {
+	// File is the source name ("grid.topo", "<topology>", ...).
+	File string
+	// Line is the 1-based line number within the source.
+	Line int
+	// Token is the offending token, when one is identifiable.
+	Token string
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	if e.Token != "" {
+		return fmt.Sprintf("topology: %s:%d: %s (at %q)", e.File, e.Line, e.Msg, e.Token)
+	}
+	return fmt.Sprintf("topology: %s:%d: %s", e.File, e.Line, e.Msg)
+}
 
 // ParseSpec reads the text topology format:
 //
@@ -20,11 +43,33 @@ import (
 //	link  core1 core2 622Mbps 28ms queue=512KB loss=0.001
 //
 // Bandwidth accepts the GIS record notation (100Mbps, 1.2Gb/s); delay
-// accepts Go duration syntax (50ms, 25us).
+// accepts Go duration syntax (50ms, 25us). Errors are *ParseError values
+// carrying source name, line and offending token.
 func ParseSpec(r io.Reader) (*Spec, error) {
+	return ParseSpecAt("<topology>", 1, r)
+}
+
+// LoadSpec parses a topology file; errors name the file.
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSpecAt(path, 1, f)
+}
+
+// ParseSpecAt parses the topology format from r, reporting errors
+// against the given source name with lines counted from firstLine — the
+// hook that lets an embedding format (a scenario file's "topology"
+// section) surface errors at their true file position.
+func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 	sc := bufio.NewScanner(r)
 	spec := &Spec{}
-	lineNo := 0
+	lineNo := firstLine - 1
+	fail := func(token, format string, args ...any) (*Spec, error) {
+		return nil, &ParseError{File: name, Line: lineNo, Token: token, Msg: fmt.Sprintf(format, args...)}
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -35,57 +80,57 @@ func ParseSpec(r io.Reader) (*Spec, error) {
 		switch fields[0] {
 		case "topology":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("topology: line %d: want 'topology <name>'", lineNo)
+				return fail(fields[0], "want 'topology <name>'")
 			}
 			spec.Name = fields[1]
 		case "host":
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("topology: line %d: want 'host <name> <addr>'", lineNo)
+				return fail(fields[0], "want 'host <name> <addr>'")
 			}
 			spec.Hosts = append(spec.Hosts, HostSpec{Name: fields[1], Addr: fields[2]})
 		case "router":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("topology: line %d: want 'router <name>'", lineNo)
+				return fail(fields[0], "want 'router <name>'")
 			}
 			spec.Routers = append(spec.Routers, fields[1])
 		case "link":
 			if len(fields) < 5 {
-				return nil, fmt.Errorf("topology: line %d: want 'link <a> <b> <bw> <delay> [queue=N] [loss=P]'", lineNo)
+				return fail(fields[0], "want 'link <a> <b> <bw> <delay> [queue=N] [loss=P]'")
 			}
 			bw, err := gis.ParseBandwidth(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+				return fail(fields[3], "bad bandwidth: %v", err)
 			}
 			delay, err := gis.ParseLatency(fields[4])
 			if err != nil {
-				return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+				return fail(fields[4], "bad delay: %v", err)
 			}
 			l := LinkSpec{A: fields[1], B: fields[2], BandwidthBps: bw, Delay: delay}
 			for _, opt := range fields[5:] {
 				k, v, ok := strings.Cut(opt, "=")
 				if !ok {
-					return nil, fmt.Errorf("topology: line %d: bad option %q", lineNo, opt)
+					return fail(opt, "bad option (want key=value)")
 				}
 				switch k {
 				case "queue":
 					q, err := gis.ParseBytes(v)
 					if err != nil {
-						return nil, fmt.Errorf("topology: line %d: %v", lineNo, err)
+						return fail(opt, "bad queue size: %v", err)
 					}
 					l.QueueBytes = int(q)
 				case "loss":
 					p, err := strconv.ParseFloat(v, 64)
-					if err != nil || p < 0 || p > 1 {
-						return nil, fmt.Errorf("topology: line %d: bad loss %q", lineNo, v)
+					if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+						return fail(opt, "bad loss probability %q", v)
 					}
 					l.LossProb = p
 				default:
-					return nil, fmt.Errorf("topology: line %d: unknown option %q", lineNo, k)
+					return fail(opt, "unknown link option %q", k)
 				}
 			}
 			spec.Links = append(spec.Links, l)
 		default:
-			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+			return fail(fields[0], "unknown directive %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -31,6 +31,7 @@ import (
 	"microgrid/internal/globus"
 	"microgrid/internal/npb"
 	"microgrid/internal/runner"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 	"microgrid/internal/trace"
 )
@@ -83,27 +84,63 @@ const (
 // NPBNames lists the implemented NAS Parallel Benchmarks in figure order.
 func NPBNames() []string { return npb.Names() }
 
+// ExperimentInfo is one experiment-registry entry: id, one-line
+// description (from its scenario's metadata) and runner.
+type ExperimentInfo = core.ExperimentInfo
+
 // Experiments returns every paper experiment in figure order.
-func Experiments() []struct {
-	ID string
-	Fn ExperimentFunc
-} {
-	src := core.Experiments()
-	out := make([]struct {
-		ID string
-		Fn ExperimentFunc
-	}, len(src))
-	for i, e := range src {
-		out[i] = struct {
-			ID string
-			Fn ExperimentFunc
-		}{e.ID, e.Fn}
-	}
-	return out
-}
+func Experiments() []ExperimentInfo { return core.Experiments() }
 
 // GetExperiment finds an experiment by figure id ("fig05" ... "fig17").
 func GetExperiment(id string) (ExperimentFunc, error) { return core.GetExperiment(id) }
+
+// The declarative scenario layer (internal/scenario): one text file — or
+// one Scenario value — describes a whole run: the virtual grid (machine
+// spec or GIS reference), topology, emulation policy, workload, retry
+// policy, tracing and an optional chaos schedule. Every figure
+// experiment is built through this path, and `mgrid -scenario file`
+// runs user-authored scenarios end to end.
+type (
+	// Scenario is the parsed declarative description of a run.
+	Scenario = scenario.Scenario
+	// ScenarioMachine is a machine spec inside a scenario.
+	ScenarioMachine = scenario.Machine
+	// ScenarioWorkload selects and parameterizes the application.
+	ScenarioWorkload = scenario.Workload
+	// ScenarioGIS references a GIS-defined virtual grid.
+	ScenarioGIS = scenario.GISRef
+	// ScenarioEnv resolves a scenario's external references.
+	ScenarioEnv = core.ScenarioEnv
+)
+
+// ParseScenario parses the scenario text format.
+func ParseScenario(text string) (*Scenario, error) { return scenario.ParseString(text) }
+
+// LoadScenario parses a scenario file; errors name the file and line.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ScenarioMachineOf converts a MachineConfig (e.g. AlphaCluster) to its
+// scenario machine spec.
+func ScenarioMachineOf(c MachineConfig) *ScenarioMachine { return core.MachineSpec(c) }
+
+// BuildScenario constructs the MicroGrid a scenario describes and arms
+// its chaos schedule.
+func BuildScenario(s *Scenario) (*MicroGrid, error) { return core.BuildScenario(s) }
+
+// BuildScenarioEnv is BuildScenario with explicit reference resolution
+// (in-memory GIS, base directory for relative paths).
+func BuildScenarioEnv(s *Scenario, env ScenarioEnv) (*MicroGrid, error) {
+	return core.BuildScenarioEnv(s, env)
+}
+
+// RunScenario builds the scenario's grid and runs its workload.
+func RunScenario(s *Scenario) (*Report, error) { return core.RunScenario(s) }
+
+// RunScenarioEnv is RunScenario with explicit reference resolution
+// (in-memory GIS, base directory for relative paths).
+func RunScenarioEnv(s *Scenario, env ScenarioEnv) (*Report, error) {
+	return core.RunScenarioEnv(s, env)
+}
 
 // Campaign runner types. The runner executes many experiments on a
 // bounded worker pool — each in its own isolated engine — with
