@@ -357,6 +357,81 @@ func BenchmarkEngineEventThroughputTraceOff(b *testing.B) {
 	}
 }
 
+// benchParallelRing is the shard-scaling workload behind
+// BenchmarkParallelEngineEvents: every shard drives a 1 µs local tick
+// chain (Fig. 10-class event density — the NPB runs dispatch events at
+// microsecond cadence) and every 256th tick sends a cross-shard event to
+// its ring neighbor one lookahead (1 ms) ahead. With a 1 ms lookahead
+// each barrier window covers ~1000 events per shard, so the windowing
+// overhead is amortized the way a real multi-cluster run would amortize
+// it over WAN latency.
+func benchParallelRing(b *testing.B, shards int) {
+	pe := simcore.NewParallelEngine(1, shards)
+	pe.SetLookahead(simcore.Millisecond)
+	perShard := b.N / shards
+	if perShard == 0 {
+		perShard = 1
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		eng := pe.Shard(i)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n%256 == 0 {
+				pe.Send(i, (i+1)%shards, eng.Now().Add(simcore.Millisecond), func() {})
+			}
+			if n < perShard {
+				eng.After(simcore.Microsecond, tick)
+			}
+		}
+		eng.After(simcore.Microsecond, tick)
+	}
+	b.ResetTimer()
+	if err := pe.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(pe.Windows()), "windows")
+}
+
+// BenchmarkParallelEngineEvents pins the conservative parallel engine's
+// event throughput against the serial engine on the same ring workload
+// (see DESIGN.md §10). shards=1 measures the pure windowing overhead —
+// no goroutines are spawned for a single active shard — and shards=2..8
+// measure barrier-synchronized scaling. Events/sec scaling beyond 1×
+// requires real cores: on a single-CPU runner the parallel sub-benches
+// pin the coordination overhead instead.
+func BenchmarkParallelEngineEvents(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		se := simcore.NewSerialEngine(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n%256 == 0 {
+				se.After(simcore.Millisecond, func() {})
+			}
+			if n < b.N {
+				se.After(simcore.Microsecond, tick)
+			}
+		}
+		b.ResetTimer()
+		se.After(simcore.Microsecond, tick)
+		if err := se.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchParallelRing(b, shards)
+		})
+	}
+}
+
 // BenchmarkProcContextSwitch measures process park/resume cost.
 func BenchmarkProcContextSwitch(b *testing.B) {
 	eng := simcore.NewEngine(1)

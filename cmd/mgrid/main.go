@@ -49,8 +49,17 @@ func main() {
 		traceOut = flag.String("trace", "", "write a structured trace of the experiment (.jsonl = compact stream, anything else = Chrome/Perfetto JSON)")
 		traceCat = flag.String("trace-categories", "all", "trace categories, e.g. 'net,mpi' or 'all,-engine'")
 		traceBuf = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default 65536)")
+		shards   = flag.Int("shards", 0, "simulation engine: 0 = serial (default), N >= 1 = conservative parallel engine with N shards")
 	)
 	flag.Parse()
+
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "error: -shards must be >= 0")
+		os.Exit(1)
+	}
+	if *shards > 0 {
+		microgrid.SetEngineShards(*shards)
+	}
 
 	if *list {
 		fmt.Println("Available experiments:")

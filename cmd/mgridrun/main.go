@@ -39,8 +39,15 @@ func main() {
 		rate    = flag.Float64("rate", 0, "simulation rate (0 = fastest feasible)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		scen    = flag.String("scenario", "", "declarative .scenario file (overrides all other flags)")
+		shards  = flag.Int("shards", 0, "simulation engine: 0 = serial (default), N >= 1 = conservative parallel engine with N shards")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fail(fmt.Errorf("-shards must be >= 0"))
+	}
+	if *shards > 0 {
+		microgrid.SetEngineShards(*shards)
+	}
 	if *scen != "" {
 		s, err := microgrid.LoadScenario(*scen)
 		if err != nil {

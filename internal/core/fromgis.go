@@ -26,6 +26,8 @@ type GISBuildOptions struct {
 	Quantum simcore.Duration
 	// StaggerSpread de-synchronizes the scheduler daemons (see BuildConfig).
 	StaggerSpread float64
+	// Shards selects the simulation engine, as in BuildConfig.Shards.
+	Shards int
 }
 
 // BuildFromGIS constructs a MicroGrid from the virtual-resource records of
@@ -114,13 +116,20 @@ func BuildFromGIS(server *gis.Server, configName string, opts GISBuildOptions) (
 		}
 	}
 
-	eng := simcore.NewEngine(opts.Seed)
+	eng, driver, par := newDriver(opts.Seed, resolveShards(opts.Shards))
 	grid, err := virtual.NewGrid(eng, vcfg, virtual.LANWire(vcfg.Hosts, bw, perSide))
 	if err != nil {
 		return nil, err
 	}
+	if par != nil {
+		if d, ok := grid.Network().MinLinkDelay(); ok {
+			par.SetLookahead(d)
+		}
+	}
 	m := &MicroGrid{
 		Eng:        eng,
+		driver:     driver,
+		par:        par,
 		Grid:       grid,
 		GIS:        server,
 		Registry:   globus.NewRegistry(),
@@ -130,6 +139,7 @@ func BuildFromGIS(server *gis.Server, configName string, opts GISBuildOptions) (
 			Seed:      opts.Seed,
 			Rate:      opts.Rate,
 			Quantum:   opts.Quantum,
+			Shards:    opts.Shards,
 			Emulation: emulationMarker(opts.PhysMIPS != nil),
 		},
 	}

@@ -47,6 +47,13 @@ type BuildConfig struct {
 	// FlowNetwork selects analytic flow-level network modeling instead of
 	// packet-level simulation (faster, lower fidelity).
 	FlowNetwork bool
+	// Shards selects the simulation engine: 0 (default) runs the classic
+	// serial engine; n ≥ 1 runs the conservative parallel engine with n
+	// shards, whose lookahead is derived from the virtual network's
+	// minimum link latency. The grid model currently occupies shard 0
+	// (see DESIGN.md §10), so results are bit-identical to serial at any
+	// shard count; engine-level workloads spread across all shards.
+	Shards int
 	// Trace, when non-nil, attaches a structured trace recorder to this
 	// instance's engine. Nil falls back to the global tracing switch (see
 	// EnableTracing), which cmd/mgrid's -trace flag arms.
@@ -68,6 +75,53 @@ type MicroGrid struct {
 	ran         bool
 	gatekeepers map[string]*globus.Gatekeeper
 	injector    *chaos.Injector
+	// driver executes the simulation: the serial engine itself, or the
+	// parallel engine coordinating Eng (= its shard 0) and its peers.
+	driver simcore.Sim
+	par    *simcore.ParallelEngine
+}
+
+// engineShardsOverride, when > 0, forces every subsequently built
+// instance onto the parallel engine with that many shards. The CLIs'
+// -shards flag sets it; it outranks BuildConfig.Shards.
+var engineShardsOverride int
+
+// SetEngineShards installs a process-wide engine override: n ≥ 1 forces
+// the parallel engine with n shards, 0 restores per-config choice.
+func SetEngineShards(n int) { engineShardsOverride = n }
+
+// EngineShards returns the current process-wide engine override.
+func EngineShards() int { return engineShardsOverride }
+
+// resolveShards applies the process-wide override to a config's choice.
+func resolveShards(cfgShards int) int {
+	if engineShardsOverride > 0 {
+		return engineShardsOverride
+	}
+	return cfgShards
+}
+
+// newDriver builds the chosen engine pair: the Engine model code runs
+// on, and the Sim that executes the run.
+func newDriver(seed int64, shards int) (*simcore.Engine, simcore.Sim, *simcore.ParallelEngine) {
+	if shards >= 1 {
+		pe := simcore.NewParallelEngine(seed, shards)
+		return pe.Shard(0), pe, pe
+	}
+	se := simcore.NewSerialEngine(seed)
+	return se.Engine, se, nil
+}
+
+// ParallelEngine returns the parallel engine driving this instance, or
+// nil when it runs on the serial engine.
+func (m *MicroGrid) ParallelEngine() *simcore.ParallelEngine { return m.par }
+
+// runSim executes the simulation through the configured driver.
+func (m *MicroGrid) runSim() error {
+	if m.driver != nil {
+		return m.driver.Run()
+	}
+	return m.Eng.Run()
 }
 
 // Build constructs the MicroGrid.
@@ -75,7 +129,7 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	if cfg.Target.Procs <= 0 {
 		return nil, fmt.Errorf("core: target needs at least one processor")
 	}
-	eng := simcore.NewEngine(cfg.Seed)
+	eng, driver, par := newDriver(cfg.Seed, resolveShards(cfg.Shards))
 	configName := cfg.Target.Name
 	if cfg.Emulation != nil {
 		configName += " (emulated)"
@@ -173,6 +227,13 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	if err != nil {
 		return nil, err
 	}
+	if par != nil {
+		// Conservative lookahead: no packet crosses the virtual network
+		// faster than its cheapest link.
+		if d, ok := grid.Network().MinLinkDelay(); ok {
+			par.SetLookahead(d)
+		}
+	}
 
 	m := &MicroGrid{
 		Eng:         eng,
@@ -183,6 +244,8 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		ConfigName:  configName,
 		cfg:         cfg,
 		gatekeepers: make(map[string]*globus.Gatekeeper),
+		driver:      driver,
+		par:         par,
 	}
 
 	// Globus: a gatekeeper on every virtual host, registered in the GIS.

@@ -195,7 +195,7 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	}
 	_ = client
 
-	if err := m.Eng.Run(); err != nil {
+	if err := m.runSim(); err != nil {
 		return nil, fmt.Errorf("core: simulation error: %w", err)
 	}
 	if submitErr != nil {

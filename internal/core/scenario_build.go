@@ -82,6 +82,7 @@ func scenarioFromBuild(cfg BuildConfig) *scenario.Scenario {
 		Quantum:         cfg.Quantum,
 		Stagger:         cfg.StaggerSpread,
 		FlowNetwork:     cfg.FlowNetwork,
+		EngineShards:    cfg.Shards,
 		SendOverheadOps: cfg.SendOverheadOps,
 		PerByteOps:      cfg.PerByteOps,
 		Topology:        cfg.Topo,
@@ -110,6 +111,7 @@ func buildConfig(s *scenario.Scenario) BuildConfig {
 		PerByteOps:      s.PerByteOps,
 		StaggerSpread:   s.Stagger,
 		FlowNetwork:     s.FlowNetwork,
+		Shards:          s.EngineShards,
 	}
 	if s.Emulation != nil {
 		emu := machineConfig(s.Emulation)
@@ -158,6 +160,7 @@ func BuildScenarioEnv(s *scenario.Scenario, env ScenarioEnv) (*MicroGrid, error)
 			Rate:          s.Rate,
 			Quantum:       s.Quantum,
 			StaggerSpread: s.Stagger,
+			Shards:        s.EngineShards,
 		})
 	case s.Target != nil:
 		m, err = Build(buildConfig(s))

@@ -764,3 +764,20 @@ func TestRecvTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMinLinkDelay(t *testing.T) {
+	eng := simcore.NewEngine(1)
+	nw := New(eng)
+	if _, ok := nw.MinLinkDelay(); ok {
+		t.Fatal("linkless network reported a min delay")
+	}
+	a := nw.AddHost("a", MustParseAddr("10.0.0.1"))
+	b := nw.AddHost("b", MustParseAddr("10.0.0.2"))
+	c := nw.AddHost("c", MustParseAddr("10.0.0.3"))
+	nw.Connect(a, b, LinkConfig{BandwidthBps: 1e9, Delay: 5 * simcore.Millisecond})
+	nw.Connect(b, c, LinkConfig{BandwidthBps: 1e9, Delay: 200 * simcore.Microsecond})
+	d, ok := nw.MinLinkDelay()
+	if !ok || d != 200*simcore.Microsecond {
+		t.Fatalf("MinLinkDelay = %v, %v; want 200µs, true", d, ok)
+	}
+}

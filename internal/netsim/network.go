@@ -171,6 +171,20 @@ func (n *Network) Nodes() []*Node {
 // Links returns all links in creation order.
 func (n *Network) Links() []*Link { return n.links }
 
+// MinLinkDelay returns the smallest propagation delay over all links, or
+// ok=false for a linkless network. It is the natural conservative
+// lookahead for a parallel engine partitioning this network: no packet
+// can cross between nodes in less than the minimum link delay, so no
+// cross-partition event can land sooner than that.
+func (n *Network) MinLinkDelay() (d simcore.Duration, ok bool) {
+	for _, l := range n.links {
+		if !ok || l.Config.Delay < d {
+			d, ok = l.Config.Delay, true
+		}
+	}
+	return d, ok
+}
+
 // FindLink returns the link joining the two named nodes (in either
 // order), or nil.
 func (n *Network) FindLink(a, b string) *Link {

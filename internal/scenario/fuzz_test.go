@@ -20,6 +20,8 @@ func FuzzParse(f *testing.F) {
 	f.Add("scenario w\ntarget procs=5 cpu=533\nworkload workqueue units=240 ops=1e7 policy=self ft lost=1s\n")
 	f.Add("scenario t\ntarget procs=2 cpu=1 mem=3KBytes net=0.125Mbps delay=1h\ntrace categories=all buf=1\n")
 	f.Add("scenario c\nseed -9223372036854775808\ntarget procs=1 cpu=5e-324\nchaos\nschedule s\nat 1ns degrade a b loss=1\nend\n")
+	f.Add("scenario p\nseed 2\ntarget procs=4 cpu=533\nengine parallel shards=4\n")
+	f.Add("scenario s\ntarget procs=1 cpu=1\nengine serial\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		s1, err := ParseString(text)
 		if err != nil {

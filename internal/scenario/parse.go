@@ -183,6 +183,35 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 				return nil, fail(fields[1], "flownet takes no arguments")
 			}
 			s.FlowNetwork = true
+		case "engine":
+			if len(fields) < 2 {
+				return nil, fail(fields[0], "want 'engine serial' or 'engine parallel shards=N'")
+			}
+			switch fields[1] {
+			case "serial":
+				if len(fields) != 2 {
+					return nil, fail(fields[2], "engine serial takes no options")
+				}
+				s.EngineShards = 0
+			case "parallel":
+				if len(fields) != 3 {
+					return nil, fail(fields[1], "want 'engine parallel shards=N'")
+				}
+				k, v, ok := strings.Cut(fields[2], "=")
+				if !ok || k != "shards" {
+					return nil, fail(fields[2], "want shards=N")
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail(fields[2], "bad shards: %v", err)
+				}
+				if n < 1 {
+					return nil, fail(fields[2], "engine parallel needs shards >= 1")
+				}
+				s.EngineShards = n
+			default:
+				return nil, fail(fields[1], "unknown engine %q (want serial or parallel)", fields[1])
+			}
 		case "msgcost":
 			if len(fields) < 2 {
 				return nil, fail(fields[0], "want 'msgcost [send=<ops>] [perbyte=<ops>]'")

@@ -138,6 +138,10 @@ type Scenario struct {
 	Stagger float64
 	// FlowNetwork selects analytic flow-level network modeling.
 	FlowNetwork bool
+	// EngineShards selects the simulation engine: 0 is the serial
+	// engine, n ≥ 1 the conservative parallel engine with n shards
+	// (`engine parallel shards=n`).
+	EngineShards int
 	// SendOverheadOps / PerByteOps tune the per-message CPU model.
 	SendOverheadOps, PerByteOps float64
 	// Topology, when non-nil, replaces the switched LAN; HostRanks then
@@ -210,6 +214,9 @@ func (s *Scenario) Validate() error {
 	}
 	if !finite(s.Stagger) || s.Stagger < 0 || s.Stagger > 1 {
 		return fmt.Errorf("stagger must be in 0..1")
+	}
+	if s.EngineShards < 0 || s.EngineShards > 4096 {
+		return fmt.Errorf("engine shards must be in 0..4096")
 	}
 	if !finite(s.SendOverheadOps) || s.SendOverheadOps < 0 ||
 		!finite(s.PerByteOps) || s.PerByteOps < 0 {

@@ -19,6 +19,7 @@ rate 0.5
 quantum 10ms
 stagger 0.25
 flownet
+engine parallel shards=4
 msgcost send=1000 perbyte=0.5
 topology
   topology vbns-ish
@@ -64,6 +65,9 @@ func TestParseFull(t *testing.T) {
 	if s.SendOverheadOps != 1000 || s.PerByteOps != 0.5 {
 		t.Fatalf("msgcost: %+v", s)
 	}
+	if s.EngineShards != 4 {
+		t.Fatalf("engine: EngineShards = %d, want 4", s.EngineShards)
+	}
 	if s.Topology == nil || len(s.Topology.Links) != 3 || s.Topology.Links[1].LossProb != 0.001 {
 		t.Fatalf("topology: %+v", s.Topology)
 	}
@@ -94,6 +98,10 @@ func TestRoundTrip(t *testing.T) {
 		"scenario gis-run\nseed 7\ngis file=\"grid.ldif\" config=\"UCSD Cluster\" phys=alpha0:533,alpha1:533\nworkload cactus edge=50 steps=20\n",
 		"scenario farm\nseed 3\ntarget procs=5 cpu=533\nworkload workqueue units=240 ops=1e7 policy=self ft lost=1s\n",
 		"scenario pp\nseed 1\ntarget procs=2 cpu=533 net=100Mbps delay=25us\nworkload pingpong bytes=1024\ntrace\n",
+		"scenario par\nseed 5\ntarget procs=4 cpu=533\nengine parallel shards=2\n",
+		// `engine serial` is the default: it parses, and the canonical
+		// serialization omits the line entirely.
+		"scenario ser\nseed 5\ntarget procs=4 cpu=533\nengine serial\n",
 	}
 	for _, text := range texts {
 		s1, err := ParseString(text)
@@ -169,6 +177,14 @@ func TestValidateRejects(t *testing.T) {
 		"scenario x\ntarget procs=1 cpu=1\nretry attempts=2\n",
 		// emulate alongside gis
 		"scenario x\ngis file=\"a\" config=\"b\"\nemulate procs=1 cpu=1\n",
+		// engine forms: missing mode, unknown mode, missing/zero/bad shards
+		"scenario x\ntarget procs=1 cpu=1\nengine\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine warp\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine parallel\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine parallel shards=0\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine parallel shards=two\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine parallel lanes=4\n",
+		"scenario x\ntarget procs=1 cpu=1\nengine serial shards=2\n",
 	}
 	for _, text := range bad {
 		if _, err := ParseString(text); err == nil {

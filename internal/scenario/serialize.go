@@ -47,6 +47,11 @@ func (s *Scenario) String() string {
 	if s.FlowNetwork {
 		b.WriteString("flownet\n")
 	}
+	if s.EngineShards != 0 {
+		// Canonical engine line: serial is the default and is omitted;
+		// the parallel form always carries shards= in this position.
+		fmt.Fprintf(&b, "engine parallel shards=%d\n", s.EngineShards)
+	}
 	if s.SendOverheadOps != 0 || s.PerByteOps != 0 {
 		b.WriteString("msgcost")
 		if s.SendOverheadOps != 0 {

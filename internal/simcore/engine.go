@@ -340,6 +340,63 @@ func (e *Engine) RunUntil(limit Time) error {
 	return nil
 }
 
+// nextEventTime reports the time of the earliest pending event, or
+// ok=false when nothing is scheduled. The FIFO only holds events for the
+// current instant, so a non-empty FIFO means the next event is at now.
+func (e *Engine) nextEventTime() (t Time, ok bool) {
+	if e.fifoHead < len(e.fifo) {
+		return e.now, true
+	}
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].t, true
+}
+
+// runWindow executes events with time strictly before end — one
+// conservative-PDES time window. It mirrors the RunUntil dispatch loop
+// (including the same-instant FIFO fast path and trace hooks) but leaves
+// end-of-run bookkeeping (blocked-process collection, shutdown) to the
+// coordinating ParallelEngine. The strict bound is what makes windows
+// composable: an event executing at t < end may schedule locally at any
+// t' ≥ now, and cross-shard events injected later are guaranteed to be
+// at ≥ end, so they can never be in this window's past.
+func (e *Engine) runWindow(end Time) {
+	for !e.stopped {
+		if e.fifoHead < len(e.fifo) {
+			if len(e.heap) > 0 && e.heap[0].t == e.now {
+				ev := e.heapPop()
+				if e.rec.Enabled(trace.CatEngine) {
+					e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+				}
+				ev.fn()
+				continue
+			}
+			ev := e.fifo[e.fifoHead]
+			e.fifo[e.fifoHead] = event{}
+			e.fifoHead++
+			if e.fifoHead == len(e.fifo) {
+				e.fifo = e.fifo[:0]
+				e.fifoHead = 0
+			}
+			if e.rec.Enabled(trace.CatEngine) {
+				e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+			}
+			ev.fn()
+			continue
+		}
+		if len(e.heap) == 0 || e.heap[0].t >= end {
+			return
+		}
+		ev := e.heapPop()
+		e.now = ev.t
+		if e.rec.Enabled(trace.CatEngine) {
+			e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
+		}
+		ev.fn()
+	}
+}
+
 // shutdown aborts all parked processes, in id order, so their goroutines
 // exit. Each pass snapshots and sorts the survivors once; deferred cleanup
 // in an aborted process may spawn new processes (always with higher ids),

@@ -1,0 +1,468 @@
+package simcore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"microgrid/internal/trace"
+)
+
+// DefaultLookahead is the conservative lookahead used when no inter-shard
+// link has been declared and none was set explicitly: cross-shard events
+// must be scheduled at least this far past the current window start.
+const DefaultLookahead = Millisecond
+
+// maxTime is the practically-infinite horizon used by Run.
+const maxTime = Time(1)<<62 - 1
+
+// xevent is a cross-shard event parked in a per-(src,dst) queue until the
+// barrier between windows delivers it into the destination shard.
+type xevent struct {
+	t   Time
+	seq int64 // per-source send sequence; breaks same-instant ties
+	fn  func()
+}
+
+// delivery is a due cross-shard event plus the coordinates that define
+// its deterministic injection order.
+type delivery struct {
+	t        Time
+	src, dst int
+	seq      int64
+	fn       func()
+}
+
+// ParallelEngine is a conservative parallel discrete-event engine in the
+// classic CMB (Chandy–Misra–Bryant) windowed style: the model is
+// partitioned into N shards, each an independent serial Engine with its
+// own event heap, process set, and random stream. Execution proceeds in
+// barrier-synchronized time windows [t0, t0+lookahead): within a window
+// every shard runs its local events concurrently; at the barrier,
+// cross-shard events that have come due are injected into their
+// destination shards in a deterministic (time, source shard, send seq)
+// order before the next window opens.
+//
+// The conservative contract is that a cross-shard event must be
+// scheduled no earlier than the end of the window in which it is sent —
+// the lookahead, derived from the minimum inter-shard link latency via
+// DeclareLink. Under that contract no shard can ever receive an event in
+// its past, so no rollback is needed and every shard's local execution
+// is exactly a serial Engine run. Because each shard is sequential and
+// barrier delivery is sorted, results are bit-for-bit deterministic for
+// a given seed and shard count, independent of GOMAXPROCS or scheduling.
+//
+// Note that different shard counts are different simulations: shards own
+// disjoint seq spaces and random streams, so observable ordering is only
+// partition-independent for quantities ordered by (time, owner, per-owner
+// order) — see the merge tests. A single-shard ParallelEngine is the
+// exact serial simulation: shard 0 always uses the engine's own seed.
+type ParallelEngine struct {
+	shards []*Engine
+
+	// lookahead is the effective window length, resolved at Run from the
+	// explicit setting, declared links, or DefaultLookahead.
+	explicit Duration
+	minLink  Duration
+	lookhead Duration
+
+	// queues[src*n+dst] parks cross-shard events; each row is written
+	// only by src's shard goroutine during a window and drained only by
+	// the coordinator between windows. sendSeq[src] counts src's sends.
+	queues  [][]xevent
+	sendSeq []int64
+
+	// windowEnd is the exclusive bound of the window being executed;
+	// Send (called concurrently from shard goroutines) checks it to
+	// enforce the lookahead contract.
+	windowEnd atomic.Int64
+	stopped   atomic.Bool
+	running   bool
+	now       Time
+
+	nwindows    int64
+	ncrossSent  int64
+	deliverBuf  []delivery
+	activeBuf   []*Engine
+	panicBuf    []any
+	inWindowBuf []bool
+}
+
+var _ Sim = (*ParallelEngine)(nil)
+
+// shardSeedMix spreads one user seed into per-shard seeds; shard 0 keeps
+// the seed itself so a 1-shard parallel run is the serial run.
+const shardSeedMix = int64(-0x61c8864680b583eb) // 2^64 / golden ratio
+
+// NewParallelEngine returns a conservative parallel engine with n shards
+// (n ≥ 1). Shard 0's random stream is derived from seed exactly as a
+// serial engine's would be; shards 1..n-1 use decorrelated seeds.
+func NewParallelEngine(seed int64, n int) *ParallelEngine {
+	if n < 1 {
+		panic(fmt.Sprintf("simcore: parallel engine needs at least 1 shard, got %d", n))
+	}
+	pe := &ParallelEngine{
+		shards:  make([]*Engine, n),
+		queues:  make([][]xevent, n*n),
+		sendSeq: make([]int64, n),
+	}
+	for i := range pe.shards {
+		s := seed
+		if i > 0 {
+			s = seed ^ int64(i)*shardSeedMix
+		}
+		pe.shards[i] = NewEngine(s)
+	}
+	return pe
+}
+
+// NumShards returns the shard count.
+func (pe *ParallelEngine) NumShards() int { return len(pe.shards) }
+
+// Shard returns shard i's serial engine. Model state partitioned onto
+// shard i (hosts, schedulers, endpoints) spawns processes and schedules
+// local events on it directly; only cross-shard communication goes
+// through Send.
+func (pe *ParallelEngine) Shard(i int) *Engine { return pe.shards[i] }
+
+// Now returns the start time of the most recent window.
+func (pe *ParallelEngine) Now() Time { return pe.now }
+
+// Windows returns how many barrier-synchronized windows have executed.
+func (pe *ParallelEngine) Windows() int64 { return pe.nwindows }
+
+// CrossEvents returns how many cross-shard events have been sent.
+func (pe *ParallelEngine) CrossEvents() int64 { return pe.ncrossSent }
+
+// SetLookahead fixes the window length explicitly, overriding declared
+// links. It panics on d ≤ 0 or while the engine is running.
+func (pe *ParallelEngine) SetLookahead(d Duration) {
+	if d <= 0 {
+		panic(fmt.Sprintf("simcore: lookahead must be positive, got %v", d))
+	}
+	if pe.running {
+		panic("simcore: SetLookahead while running")
+	}
+	pe.explicit = d
+}
+
+// Lookahead returns the effective window length: the explicit setting if
+// any, else the minimum declared inter-shard link latency, else
+// DefaultLookahead.
+func (pe *ParallelEngine) Lookahead() Duration {
+	switch {
+	case pe.explicit > 0:
+		return pe.explicit
+	case pe.minLink > 0:
+		return pe.minLink
+	default:
+		return DefaultLookahead
+	}
+}
+
+// DeclareLink records a communication path from shard src to shard dst
+// whose minimum latency is minDelay; the smallest declared latency
+// becomes the conservative lookahead. Declaring a non-positive latency
+// panics: zero-lookahead couplings cannot be split across shards.
+func (pe *ParallelEngine) DeclareLink(src, dst int, minDelay Duration) {
+	pe.checkShard(src)
+	pe.checkShard(dst)
+	if minDelay <= 0 {
+		panic(fmt.Sprintf("simcore: inter-shard link %d->%d must have positive latency, got %v", src, dst, minDelay))
+	}
+	if pe.running {
+		panic("simcore: DeclareLink while running")
+	}
+	if pe.minLink == 0 || minDelay < pe.minLink {
+		pe.minLink = minDelay
+	}
+}
+
+func (pe *ParallelEngine) checkShard(i int) {
+	if i < 0 || i >= len(pe.shards) {
+		panic(fmt.Sprintf("simcore: shard %d out of range [0,%d)", i, len(pe.shards)))
+	}
+}
+
+// Send schedules fn on shard dst at absolute time t, on behalf of shard
+// src. It is the only legal way to touch another shard's timeline and is
+// safe to call from src's processes and event callbacks while a window
+// executes. The conservative contract is enforced: t must not precede
+// the end of the current window (i.e. the sender must respect the
+// lookahead), otherwise Send panics — delivering into a shard's past
+// would corrupt causality.
+//
+// Same-instant sends from one source preserve their call order; sends
+// from different sources at the same instant are delivered in shard
+// order. Before Run starts, Send may seed events at any t ≥ 0.
+func (pe *ParallelEngine) Send(src, dst int, t Time, fn func()) {
+	pe.checkShard(src)
+	pe.checkShard(dst)
+	if t < 0 {
+		panic(fmt.Sprintf("simcore: Send at negative time %v", t))
+	}
+	if we := Time(pe.windowEnd.Load()); t < we {
+		panic(fmt.Sprintf(
+			"simcore: lookahead violation: shard %d sent to shard %d at %v inside window ending %v",
+			src, dst, t, we))
+	}
+	pe.sendSeq[src]++
+	pe.queues[src*len(pe.shards)+dst] = append(
+		pe.queues[src*len(pe.shards)+dst],
+		xevent{t: t, seq: pe.sendSeq[src], fn: fn},
+	)
+}
+
+// nextTime reports the earliest pending time across shard heaps and
+// cross-shard queues.
+func (pe *ParallelEngine) nextTime() (Time, bool) {
+	var best Time
+	ok := false
+	for _, sh := range pe.shards {
+		if t, has := sh.nextEventTime(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	for _, q := range pe.queues {
+		for i := range q {
+			if t := q[i].t; !ok || t < best {
+				best, ok = t, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// deliver injects every queued cross-shard event with t < end into its
+// destination shard, in (time, source shard, send seq) order. It runs
+// single-threaded between windows, so destination seq assignment — and
+// therefore all downstream ordering — is deterministic.
+func (pe *ParallelEngine) deliver(end Time) {
+	due := pe.deliverBuf[:0]
+	n := len(pe.shards)
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			q := pe.queues[src*n+dst]
+			keep := q[:0]
+			for _, xe := range q {
+				if xe.t < end {
+					due = append(due, delivery{t: xe.t, src: src, dst: dst, seq: xe.seq, fn: xe.fn})
+				} else {
+					keep = append(keep, xe)
+				}
+			}
+			for i := len(keep); i < len(q); i++ {
+				q[i] = xevent{} // release fn references
+			}
+			pe.queues[src*n+dst] = keep
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := &due[i], &due[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range due {
+		d := &due[i]
+		pe.shards[d.dst].At(d.t, d.fn)
+	}
+	pe.ncrossSent += int64(len(due))
+	pe.deliverBuf = due[:0]
+}
+
+// runShards executes one window [*, end) on every shard that has work
+// before end. Shards run concurrently — each shard's loop (and the
+// processes it resumes) is its own goroutine chain — except that a
+// window with a single active shard runs inline, so a model living
+// entirely on one shard pays no goroutine or barrier overhead.
+func (pe *ParallelEngine) runShards(end Time) {
+	active := pe.activeBuf[:0]
+	for _, sh := range pe.shards {
+		if t, ok := sh.nextEventTime(); ok && t < end {
+			active = append(active, sh)
+		}
+	}
+	pe.activeBuf = active[:0]
+	switch len(active) {
+	case 0:
+		return
+	case 1:
+		active[0].runWindow(end)
+		return
+	}
+	panics := pe.panicBuf[:0]
+	for range active {
+		panics = append(panics, nil)
+	}
+	pe.panicBuf = panics[:0]
+	var wg sync.WaitGroup
+	for i, sh := range active {
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			sh.runWindow(end)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Run executes the simulation until every shard heap and cross-shard
+// queue is empty or the simulation is stopped, then shuts down remaining
+// parked processes across all shards. Like the serial engine it returns
+// a *DeadlockError if non-daemon processes were still blocked when the
+// event supply drained.
+func (pe *ParallelEngine) Run() error { return pe.RunUntil(maxTime) }
+
+// RunUntil executes events with time ≤ limit in barrier-synchronized
+// lookahead windows, then stops as Run does.
+func (pe *ParallelEngine) RunUntil(limit Time) error {
+	if pe.running {
+		panic("simcore: ParallelEngine already running")
+	}
+	pe.running = true
+	pe.lookhead = pe.Lookahead()
+	defer func() { pe.running = false }()
+
+	bound := limit + 1 // window ends are exclusive: t ≤ limit ⇔ t < limit+1
+	if bound <= limit {
+		bound = maxTime
+	}
+	for !pe.stopped.Load() {
+		t0, ok := pe.nextTime()
+		if !ok || t0 > limit {
+			break
+		}
+		end := t0.Add(pe.lookhead)
+		if end <= t0 || end > bound {
+			end = bound
+		}
+		pe.windowEnd.Store(int64(end))
+		pe.deliver(end)
+		pe.runShards(end)
+		pe.now = t0
+		pe.nwindows++
+		if pe.anyShardStopped() {
+			break
+		}
+	}
+	return pe.finish()
+}
+
+// Stop ends the simulation: the current window completes, then Run
+// returns. Pending events are discarded. Safe to call from any shard's
+// processes; a stop issued via a shard engine's own Stop additionally
+// halts that shard's window immediately, exactly as in a serial run.
+func (pe *ParallelEngine) Stop() { pe.stopped.Store(true) }
+
+// Stopped reports whether the simulation has been stopped, either
+// directly or through any shard engine.
+func (pe *ParallelEngine) Stopped() bool {
+	return pe.stopped.Load() || pe.anyShardStopped()
+}
+
+func (pe *ParallelEngine) anyShardStopped() bool {
+	for _, sh := range pe.shards {
+		if sh.stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// pending reports events still scheduled anywhere: shard heaps plus
+// undelivered cross-shard queues.
+func (pe *ParallelEngine) pending() int {
+	n := 0
+	for _, sh := range pe.shards {
+		n += sh.pending()
+	}
+	for _, q := range pe.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// finish mirrors the serial engine's end-of-run bookkeeping across all
+// shards: collect still-blocked non-daemon processes (sorted by name for
+// a deterministic report), shut every shard down in shard order, and
+// surface a deadlock if the event supply drained with processes blocked.
+func (pe *ParallelEngine) finish() error {
+	var blocked []string
+	for _, sh := range pe.shards {
+		for p := range sh.procs {
+			if !p.daemon {
+				blocked = append(blocked, p.name)
+			}
+		}
+	}
+	sort.Strings(blocked)
+	for _, sh := range pe.shards {
+		sh.shutdown()
+	}
+	if len(blocked) > 0 && !pe.Stopped() && pe.pending() == 0 {
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// MergedTrace merges the shards' retained trace events into one run in
+// the deterministic (time, shard, shard-seq) order, renumbering Seq into
+// the merged emission order. Shards without a recorder contribute
+// nothing; the label and buffer size are taken from shard 0's recorder,
+// emitted/dropped counters are summed.
+func (pe *ParallelEngine) MergedTrace() trace.Run {
+	type tagged struct {
+		ev    trace.Event
+		shard int
+	}
+	var all []tagged
+	var out trace.Run
+	for i, sh := range pe.shards {
+		r := sh.Recorder()
+		if r == nil {
+			continue
+		}
+		snap := r.Snapshot()
+		if i == 0 {
+			out.Label = snap.Label
+			out.BufSize = snap.BufSize
+		}
+		out.Emitted += snap.Emitted
+		out.Dropped += snap.Dropped
+		for _, ev := range snap.Events {
+			all = append(all, tagged{ev: ev, shard: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.T != b.ev.T {
+			return a.ev.T < b.ev.T
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.ev.Seq < b.ev.Seq
+	})
+	out.Events = make([]trace.Event, len(all))
+	for i, t := range all {
+		t.ev.Seq = uint64(i + 1)
+		out.Events[i] = t.ev
+	}
+	return out
+}

@@ -133,11 +133,16 @@ func CriticalPath(run Run) (steps []PathStep, ok bool) {
 			taken[k] = n + 1
 		}
 	}
-	// Walk backwards from the last event.
+	// Walk backwards from the last event. A followed match must lie
+	// strictly earlier in the timeline: when the ring buffer dropped
+	// events, FIFO matching can pair a recv with a *later* send, and
+	// following that edge would walk forward and cycle. Such a recv
+	// falls through to the compute step, so cur strictly decreases and
+	// the walk always terminates.
 	cur := len(mpi) - 1
 	for cur >= 0 {
 		e := mpi[cur]
-		if e.name == "recv" && recvMatch[cur] >= 0 {
+		if e.name == "recv" && recvMatch[cur] >= 0 && recvMatch[cur] < cur {
 			s := recvMatch[cur]
 			steps = append(steps, PathStep{
 				Kind: "message", Rank: mpi[s].rank, Peer: e.rank,

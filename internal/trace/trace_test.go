@@ -213,6 +213,36 @@ func TestCriticalPath(t *testing.T) {
 	}
 }
 
+// TestCriticalPathDroppedSendsTerminate pins the walk's termination
+// when ring-buffer drops misalign FIFO matching: each rank's retained
+// recv pairs with the *other* rank's later send (the earlier sends were
+// overwritten), so both match edges point forward in the timeline.
+// Following them used to cycle forever; they must be skipped.
+func TestCriticalPathDroppedSendsTerminate(t *testing.T) {
+	r := NewRecorder(64, CatAll)
+	r.Label = "dropped-sends"
+	var clock int64
+	r.SetClock(func() int64 { return clock })
+	clock = 10
+	r.Event(CatMPI, "recv", Attr{Host: "h0", Rank: 0, Peer: 1})
+	clock = 20
+	r.Event(CatMPI, "recv", Attr{Host: "h1", Rank: 1, Peer: 0})
+	clock = 30
+	r.Event(CatMPI, "send", Attr{Host: "h0", Rank: 0, Peer: 1})
+	clock = 40
+	r.Event(CatMPI, "send", Attr{Host: "h1", Rank: 1, Peer: 0})
+	steps, ok := CriticalPath(r.Snapshot())
+	if !ok {
+		t.Fatal("no critical path found")
+	}
+	// send@40 walks back to rank 1's recv@20; its only match is the
+	// forward edge to send@30, so the chain ends there as compute.
+	want := []PathStep{{Kind: "compute", Rank: 1, Peer: 1, From: 20, To: 40}}
+	if len(steps) != len(want) || steps[0] != want[0] {
+		t.Fatalf("steps = %+v, want %+v", steps, want)
+	}
+}
+
 func TestLinkAndHostReports(t *testing.T) {
 	run := sampleRuns()[0]
 	links := LinkReport(run, 10)

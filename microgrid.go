@@ -234,6 +234,12 @@ func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseC
 // EnableTracing arms global tracing for all subsequently built grids.
 func EnableTracing(cfg TraceConfig) { core.EnableTracing(cfg) }
 
+// SetEngineShards installs a process-wide simulation-engine override for
+// all subsequently built grids: n ≥ 1 forces the conservative parallel
+// engine with n shards (cmd/mgrid's and cmd/mgridrun's -shards flag does
+// this), 0 restores the per-scenario engine choice.
+func SetEngineShards(n int) { core.SetEngineShards(n) }
+
 // ResetTracing disarms global tracing and drops collected recorders.
 func ResetTracing() { core.ResetTracing() }
 
