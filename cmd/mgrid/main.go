@@ -28,7 +28,6 @@ import (
 	"os"
 	"path"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"microgrid"
@@ -119,7 +118,12 @@ func main() {
 		// export is labeled by build order, which is only deterministic
 		// (and therefore byte-identical at any -j) within one experiment.
 		if len(tasks) != 1 {
-			fmt.Fprintf(os.Stderr, "error: -trace requires exactly one experiment (got %d); use -experiment or a -run glob matching one id\n", len(tasks))
+			ids := make([]string, len(tasks))
+			for i, t := range tasks {
+				ids[i] = t.ID
+			}
+			fmt.Fprintf(os.Stderr, "error: -trace requires exactly one experiment, but this invocation selects %d: %s\nuse -experiment or a -run glob matching one id\n",
+				len(tasks), strings.Join(ids, ", "))
 			os.Exit(1)
 		}
 		mask, err := microgrid.ParseTraceCategories(*traceCat)
@@ -214,17 +218,7 @@ func runScenarioFile(file string) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("scenario %s: %s ok\n", s.Name, report.Name)
-	fmt.Printf("virtual time:    %.3f s\n", report.VirtualElapsed.Seconds())
-	fmt.Printf("job time:        %.3f s (attempts %d)\n", report.JobVirtual.Seconds(), report.Attempts)
-	fmt.Printf("network:         %d packets delivered, %d dropped\n",
-		report.Net.PacketsDelivered, report.Net.PacketsDropped)
-	hosts := make([]string, 0, len(report.HostUtilization))
-	for h := range report.HostUtilization {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts)
-	for _, h := range hosts {
-		fmt.Printf("utilization:     %-24s %.1f%%\n", h, 100*report.HostUtilization[h])
-	}
+	// The same formatter renders mgridd's stdout artifact, so the CLI
+	// and the service can never drift apart.
+	fmt.Print(microgrid.FormatScenarioReport(s.Name, report))
 }

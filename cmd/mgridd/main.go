@@ -1,0 +1,70 @@
+// Command mgridd runs the MicroGrid as a long-lived campaign service:
+// an HTTP/JSON API that accepts declarative .scenario submissions from
+// many clients, executes them on a bounded simulation worker pool behind
+// a deterministic fair-share queue, and memoizes results in a
+// content-addressed cache — repeated or overlapping submissions of the
+// same scenario return the stored campaign.json, stdout, and trace
+// artifacts without re-simulating.
+//
+// Usage:
+//
+//	mgridd                                # listen on :8427, 2 workers
+//	mgridd -listen :9000 -workers 8
+//	mgridd -queue-depth 32 -cache 1024
+//	mgridd -run-timeout 5m -base-dir ./scenarios
+//
+// API (see DESIGN.md §11 and the README's "Running as a service"):
+//
+//	POST   /v1/runs                  submit scenario text (? quick=1, client=KEY or X-Client-Key)
+//	GET    /v1/runs                  list runs
+//	GET    /v1/runs/{id}             run status
+//	DELETE /v1/runs/{id}             cancel a queued or running run
+//	GET    /v1/runs/{id}/campaign.json
+//	GET    /v1/runs/{id}/stdout
+//	GET    /v1/runs/{id}/trace.jsonl
+//	GET    /v1/runs/{id}/stream      NDJSON status stream until terminal
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"microgrid/internal/service"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8427", "address to serve HTTP on")
+		workers    = flag.Int("workers", 2, "concurrently executing simulations")
+		queueDepth = flag.Int("queue-depth", 16, "queued runs allowed per client key before 429")
+		runTimeout = flag.Duration("run-timeout", 10*time.Minute, "per-run wall-clock timeout (0 = none)")
+		cacheSize  = flag.Int("cache", 256, "result-cache capacity in entries")
+		baseDir    = flag.String("base-dir", ".", "directory resolving relative file references in scenarios")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "error: mgridd takes no positional arguments")
+		os.Exit(2)
+	}
+
+	s := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		RunTimeout:   *runTimeout,
+		CacheEntries: *cacheSize,
+		BaseDir:      *baseDir,
+	})
+	defer s.Close()
+
+	fmt.Fprintf(os.Stderr, "mgridd %s listening on %s (%d workers, queue depth %d/client, cache %d entries)\n",
+		service.Version, *listen, *workers, *queueDepth, *cacheSize)
+	if err := http.ListenAndServe(*listen, s); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatScenarioReport renders the deterministic human-readable report
+// of a scenario run: the exact text `mgrid -scenario` prints and the
+// mgridd service stores as a run's stdout artifact. Both consumers share
+// this one formatter so the CLI and the service can never drift — and so
+// the cached copy of a run's stdout is byte-identical to a fresh one.
+func FormatScenarioReport(scenarioName string, r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %s ok\n", scenarioName, r.Name)
+	fmt.Fprintf(&b, "virtual time:    %.3f s\n", r.VirtualElapsed.Seconds())
+	fmt.Fprintf(&b, "job time:        %.3f s (attempts %d)\n", r.JobVirtual.Seconds(), r.Attempts)
+	fmt.Fprintf(&b, "network:         %d packets delivered, %d dropped\n",
+		r.Net.PacketsDelivered, r.Net.PacketsDropped)
+	hosts := make([]string, 0, len(r.HostUtilization))
+	for h := range r.HostUtilization {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "utilization:     %-24s %.1f%%\n", h, 100*r.HostUtilization[h])
+	}
+	return b.String()
+}

@@ -24,11 +24,15 @@ type Status string
 const (
 	// StatusOK means the task produced an experiment.
 	StatusOK Status = "ok"
-	// StatusFailed means every attempt returned an error (or the
-	// campaign context was cancelled before/while it ran).
+	// StatusFailed means every attempt returned an error.
 	StatusFailed Status = "failed"
 	// StatusTimeout means the per-task deadline expired.
 	StatusTimeout Status = "timeout"
+	// StatusCanceled means the campaign (or the task's own submitter,
+	// in mgridd's case) cancelled the context before or while the task
+	// ran. Distinct from StatusFailed so a user-cancelled run is never
+	// mistaken for a crash.
+	StatusCanceled Status = "canceled"
 )
 
 // DefaultRetries is how many times a failed attempt is re-run when
@@ -62,6 +66,9 @@ const (
 	FailureError FailureKind = "error"
 	// FailureTimeout: the per-task wall-clock deadline expired.
 	FailureTimeout FailureKind = "timeout"
+	// FailureCanceled: the context was cancelled — by the campaign or by
+	// an explicit per-run cancel — before the task could finish.
+	FailureCanceled FailureKind = "canceled"
 )
 
 // Result is the outcome of one task.
@@ -146,6 +153,22 @@ func Run(ctx context.Context, tasks []Task, opts Options) []Result {
 	return results
 }
 
+// RunOne executes a single task to completion under opts (Workers is
+// ignored) and returns its Result. It is the per-submission entry point
+// the mgridd service uses: each accepted run is one task, executed
+// asynchronously under its own cancellable context, with the same
+// timeout/retry/panic containment the campaign path gets.
+func RunOne(ctx context.Context, t Task, opts Options) Result {
+	retries := opts.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	return runTask(ctx, t, opts.Timeout, retries)
+}
+
 // runTask runs one task to a final Result: up to 1+retries attempts,
 // stopping early on success, timeout, or campaign cancellation.
 func runTask(ctx context.Context, t Task, timeout time.Duration, retries int) Result {
@@ -170,8 +193,16 @@ func runTask(ctx context.Context, t Task, timeout time.Duration, retries int) Re
 			res.Failure = FailureTimeout
 			break // a deadline expiry repeats; don't burn another timeout
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled) {
+			// Cancellation is a verdict on the submitter, not the task:
+			// report it as its own kind so campaign.json (and mgridd) can
+			// tell a user-cancelled run from a crash.
+			res.Status = StatusCanceled
+			res.Failure = FailureCanceled
+			break
+		}
 		if ctx.Err() != nil {
-			break // campaign cancelled; retrying is pointless
+			break // campaign deadline hit; retrying is pointless
 		}
 	}
 	res.Wall = time.Since(start)

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -239,16 +240,55 @@ func TestPanicBecomesFailure(t *testing.T) {
 	}
 }
 
-// TestCampaignCancellation: cancelling the campaign context fails the
-// remaining tasks instead of hanging.
+// TestCampaignCancellation: cancelling the campaign context finishes the
+// remaining tasks as canceled — a kind of their own, never conflated
+// with a crash — instead of hanging.
 func TestCampaignCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	results := Run(ctx, []Task{okTask("a"), okTask("b")}, Options{Workers: 2})
 	for _, r := range results {
-		if r.Status != StatusFailed || !errors.Is(r.Err, context.Canceled) {
-			t.Fatalf("result = %+v, want cancelled failure", r)
+		if r.Status != StatusCanceled || r.Failure != FailureCanceled || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result = %+v, want canceled", r)
 		}
+	}
+}
+
+// TestMidRunCancellationIsCanceledKind: a task cancelled while running
+// (it honors ctx) reports status/failure "canceled", and campaign.json
+// carries that kind — mgridd relies on it to distinguish user-cancelled
+// runs from crashes.
+func TestMidRunCancellationIsCanceledKind(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	hung := Task{ID: "hung", Run: func(ctx context.Context) (*core.Experiment, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	r := RunOne(ctx, hung, Options{})
+	if r.Status != StatusCanceled || r.Failure != FailureCanceled || r.Attempts != 1 {
+		t.Fatalf("result = %+v, want canceled after one attempt", r)
+	}
+	cj, err := CampaignJSON([]Result{r}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cj), `"status": "canceled"`) ||
+		!strings.Contains(string(cj), `"failure": "canceled"`) {
+		t.Fatalf("campaign.json does not carry the canceled kind:\n%s", cj)
+	}
+}
+
+// TestRunOneSuccess: the single-task entry point matches the pool path.
+func TestRunOneSuccess(t *testing.T) {
+	r := RunOne(context.Background(), okTask("solo"), Options{})
+	if r.Status != StatusOK || r.Failure != FailureNone || r.Attempts != 1 {
+		t.Fatalf("result = %+v", r)
 	}
 }
 

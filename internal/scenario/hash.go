@@ -1,0 +1,20 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns the hex-encoded SHA-256 of the scenario's canonical
+// serialization (String). Because String is canonical — fixed directive
+// order, sorted map entries, zero-valued options omitted — two scenario
+// files that parse to the same Scenario hash identically no matter how
+// they were formatted: comments, blank lines, directive order, and
+// key=value option order all wash out. The seed is part of the
+// serialization, so runs of the same grid at different seeds hash
+// differently. mgridd's content-addressed result cache is keyed on this
+// hash (plus the service's quick flag and binary version).
+func (s *Scenario) Hash() string {
+	sum := sha256.Sum256([]byte(s.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two differently formatted texts describing the same scenario: extra
+// whitespace, comments, reordered directives, and reordered key=value
+// options must all collapse to one canonical hash — the property the
+// mgridd result cache relies on to dedupe overlapping submissions.
+const hashScenarioTidy = `scenario cache-probe
+describe a tiny ping-pong for hash tests
+seed 42
+target procs=2 cpu=533 mem=1GBytes net=100Mbps delay=25us name="Alpha Cluster"
+workload pingpong bytes=1024 ranks=2
+retry timeout=2s attempts=3 backoff=100ms
+`
+
+const hashScenarioMessy = `# the same scenario, formatted by a different hand
+scenario cache-probe
+
+describe a tiny ping-pong for hash tests
+seed   42
+
+# options in a different order, directives shuffled
+retry attempts=3 timeout=2s backoff=100ms
+target cpu=533 delay=25us name="Alpha Cluster" procs=2 net=100Mbps mem=1GBytes
+workload pingpong ranks=2 bytes=1024
+`
+
+func mustParse(t *testing.T, text string) *Scenario {
+	t.Helper()
+	s, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestHashCollapsesFormatting: semantically identical but differently
+// formatted scenario files hash to the same value.
+func TestHashCollapsesFormatting(t *testing.T) {
+	a := mustParse(t, hashScenarioTidy)
+	b := mustParse(t, hashScenarioMessy)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hashes differ for equivalent scenarios:\n  tidy  %s\n  messy %s\ncanonical tidy:\n%s\ncanonical messy:\n%s",
+			a.Hash(), b.Hash(), a.String(), b.String())
+	}
+	if len(a.Hash()) != 64 || strings.ToLower(a.Hash()) != a.Hash() {
+		t.Fatalf("hash %q is not lowercase hex sha256", a.Hash())
+	}
+}
+
+// TestHashStableUnderRoundTrip: parse → serialize → parse → Hash is a
+// fixed point, so the hash of a scenario equals the hash of its
+// canonical text.
+func TestHashStableUnderRoundTrip(t *testing.T) {
+	a := mustParse(t, hashScenarioTidy)
+	b := mustParse(t, a.String())
+	if a.Hash() != b.Hash() {
+		t.Fatalf("round-trip changed the hash: %s vs %s", a.Hash(), b.Hash())
+	}
+	if b.String() != a.String() {
+		t.Fatalf("round-trip changed the canonical text:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestHashDistinguishesContent: any semantic difference — a different
+// seed, a different workload size — changes the hash.
+func TestHashDistinguishesContent(t *testing.T) {
+	base := mustParse(t, hashScenarioTidy)
+
+	seed := mustParse(t, strings.Replace(hashScenarioTidy, "seed 42", "seed 43", 1))
+	if base.Hash() == seed.Hash() {
+		t.Fatal("different seeds must hash differently")
+	}
+
+	size := mustParse(t, strings.Replace(hashScenarioTidy, "bytes=1024", "bytes=2048", 1))
+	if base.Hash() == size.Hash() {
+		t.Fatal("different workloads must hash differently")
+	}
+}

@@ -1,0 +1,61 @@
+package service
+
+import "microgrid/internal/metrics"
+
+// serviceMetrics is mgridd's instrument panel, in the shape "Measuring
+// and Monitoring Grid Resource Utilisation" argues a grid service should
+// expose: offered load (runs started/completed by outcome), cache
+// effectiveness (hit/miss/coalesced), per-client queueing (depth,
+// rejections), and pool utilization (busy workers, cumulative busy
+// seconds, run wall/virtual time distributions).
+type serviceMetrics struct {
+	reg *metrics.Registry
+
+	started   metrics.Counter
+	completed *metrics.CounterVec // label: status (ok|failed|timeout|canceled)
+	cacheReq  *metrics.CounterVec // label: result (hit|miss|coalesced)
+	rejected  *metrics.CounterVec // label: client
+	depth     *metrics.GaugeVec   // label: client
+	workers   metrics.Gauge
+	busy      metrics.Gauge
+	busySecs  metrics.Counter
+	wall      metrics.Distribution
+	virtual   metrics.Distribution
+}
+
+// runDurationBuckets spans quick smoke scenarios (milliseconds) through
+// paper-scale campaigns (minutes), in seconds.
+var runDurationBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+func newServiceMetrics(workers int) *serviceMetrics {
+	reg := metrics.NewRegistry()
+	m := &serviceMetrics{
+		reg: reg,
+		started: reg.Counter("mgridd_runs_started_total",
+			"simulations admitted to a worker").With(),
+		completed: reg.Counter("mgridd_runs_completed_total",
+			"terminal runs by runner status", "status"),
+		cacheReq: reg.Counter("mgridd_cache_requests_total",
+			"submissions by cache outcome", "result"),
+		rejected: reg.Counter("mgridd_queue_rejections_total",
+			"submissions rejected with 429 by client", "client"),
+		depth: reg.Gauge("mgridd_queue_depth",
+			"queued runs by client", "client"),
+		workers: reg.Gauge("mgridd_workers",
+			"size of the simulation worker pool").With(),
+		busy: reg.Gauge("mgridd_workers_busy",
+			"workers currently simulating").With(),
+		busySecs: reg.Counter("mgridd_worker_busy_seconds_total",
+			"cumulative wall-clock seconds workers spent simulating").With(),
+		wall: reg.Histogram("mgridd_run_wall_seconds",
+			"run wall-clock duration", runDurationBuckets).With(),
+		virtual: reg.Histogram("mgridd_run_virtual_seconds",
+			"run virtual (simulated) duration", runDurationBuckets).With(),
+	}
+	m.workers.Set(float64(workers))
+	// Materialize the zero-valued families a fresh scrape should show.
+	m.completed.With("ok")
+	m.cacheReq.With("hit")
+	m.cacheReq.With("miss")
+	return m
+}

@@ -1,0 +1,635 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"microgrid/internal/runner"
+	"microgrid/internal/scenario"
+)
+
+// Version identifies the serving binary in cache keys. Bump it whenever
+// artifact bytes could change shape (simulator semantics, artifact
+// encodings), so a redeployed mgridd never serves results computed by a
+// different simulator.
+const Version = "mgridd/1"
+
+// DefaultClient is the client key used when a submission names none.
+const DefaultClient = "anonymous"
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently executing simulations (default 2).
+	Workers int
+	// QueueDepth bounds each client key's queued (not yet running) runs;
+	// beyond it submissions are rejected with 429 (default 16).
+	QueueDepth int
+	// RunTimeout bounds each run's wall clock; 0 means no limit.
+	RunTimeout time.Duration
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// Version is the binary-version component of cache keys (default
+	// the package Version constant).
+	Version string
+	// BaseDir anchors relative file references inside submitted
+	// scenarios (a gis file= line); empty resolves against the server's
+	// working directory.
+	BaseDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 256
+	}
+	if c.Version == "" {
+		c.Version = Version
+	}
+	return c
+}
+
+// Server is the mgridd campaign service: an http.Handler accepting
+// .scenario submissions and executing them on a bounded worker pool
+// behind a deterministic fair-share queue, with content-addressed result
+// caching, single-flight coalescing of identical in-flight submissions,
+// per-run lifecycle endpoints (status, artifacts, streaming), and
+// Prometheus-style metrics.
+type Server struct {
+	cfg     Config
+	metrics *serviceMetrics
+	cache   *Cache
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    *FairQueue[*run]
+	runs     map[string]*run
+	order    []string        // run ids in admission order
+	inflight map[string]*run // cache key → queued/running leader
+	busy     int
+	nextID   int
+	startSeq int
+	paused   bool
+	closed   bool
+}
+
+// New returns a started server (its dispatcher goroutine runs until
+// Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newServiceMetrics(cfg.Workers),
+		cache:    NewCache(cfg.CacheEntries),
+		queue:    NewFairQueue[*run](cfg.QueueDepth),
+		runs:     make(map[string]*run),
+		inflight: make(map[string]*run),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/campaign.json", s.artifactHandler("campaign"))
+	s.mux.HandleFunc("GET /v1/runs/{id}/stdout", s.artifactHandler("stdout"))
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace.jsonl", s.artifactHandler("trace"))
+	s.mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	go s.dispatch()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the dispatcher and cancels every non-terminal run. In
+// flight simulations finish in the background; their results are still
+// recorded against their runs.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, id := range s.order {
+		if r := s.runs[id]; !terminal(r.state) && r.cancel != nil {
+			r.cancel()
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// Pause holds queued runs back from dispatch (running ones continue).
+// Tests use it to stage deterministic multi-client queue contents; an
+// operator can use it to drain the pool.
+func (s *Server) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = true
+}
+
+// Resume releases a Pause.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = false
+	s.cond.Broadcast()
+}
+
+// dispatch is the scheduling loop: whenever a worker is free and the
+// queue is non-empty, admit the next run in fair-share order.
+func (s *Server) dispatch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && (s.paused || s.busy >= s.cfg.Workers || s.queue.Len() == 0) {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		r, client, ok := s.queue.Dequeue()
+		if !ok {
+			continue
+		}
+		s.metrics.depth.With(client).Set(float64(s.queue.Depth(client)))
+		s.busy++
+		s.metrics.busy.Set(float64(s.busy))
+		s.startSeq++
+		r.startSeq = s.startSeq
+		s.metrics.started.Inc()
+		s.transitionLocked(r, StateRunning)
+		go s.execute(r)
+	}
+}
+
+// execute runs one admitted run to a terminal state and settles its
+// followers.
+func (s *Server) execute(r *run) {
+	start := time.Now()
+	res, rep, tr := s.runScenario(r)
+	wall := time.Since(start)
+	arts, aerr := buildArtifacts(r, res, rep, tr)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busy--
+	s.metrics.busy.Set(float64(s.busy))
+	s.metrics.busySecs.Add(wall.Seconds())
+	s.metrics.wall.Observe(wall.Seconds())
+	r.wallSeconds = wall.Seconds()
+	if rep != nil {
+		r.virtualSeconds = rep.VirtualElapsed.Seconds()
+		s.metrics.virtual.Observe(r.virtualSeconds)
+	}
+	r.status, r.failure = res.Status, res.Failure
+	if res.Err != nil {
+		r.errMsg = res.Err.Error()
+	}
+	if aerr != nil {
+		// Artifact encoding failed (never expected): surface it as the
+		// run's failure rather than dying with artifacts half-built.
+		res.Status = runner.StatusFailed
+		r.status = runner.StatusFailed
+		r.failure = runner.FailureError
+		r.errMsg = aerr.Error()
+	} else {
+		r.arts = arts
+	}
+	s.metrics.completed.With(string(r.status)).Inc()
+
+	switch {
+	case r.status == runner.StatusOK:
+		s.cache.Put(r.key, r.arts)
+		delete(s.inflight, r.key)
+		s.settleFollowersLocked(r, StateDone)
+		s.transitionLocked(r, StateDone)
+	case r.status == runner.StatusCanceled:
+		// The submitter cancelled the leader; identical followers did
+		// not — the first of them re-enters the queue as the new leader.
+		s.promoteFollowersLocked(r)
+		s.transitionLocked(r, StateCanceled)
+	default:
+		// A deterministic simulation fails identically on replay, so
+		// followers inherit the failure instead of burning a worker on
+		// the same crash. Failures are not cached: a timeout under load
+		// or a fixed base-dir misconfiguration deserves a fresh attempt
+		// on the next submission.
+		delete(s.inflight, r.key)
+		s.settleFollowersLocked(r, StateFailed)
+		s.transitionLocked(r, StateFailed)
+	}
+	s.cond.Broadcast()
+}
+
+// settleFollowersLocked completes every still-waiting follower with the
+// leader's outcome and artifacts.
+func (s *Server) settleFollowersLocked(r *run, st RunState) {
+	for _, f := range r.followers {
+		if f.state != StateQueued {
+			continue // cancelled followers already settled
+		}
+		f.arts = r.arts
+		f.cached = true
+		f.status, f.failure, f.errMsg = r.status, r.failure, r.errMsg
+		f.virtualSeconds = r.virtualSeconds
+		s.transitionLocked(f, st)
+	}
+	r.followers = nil
+}
+
+// promoteFollowersLocked hands a cancelled leader's execution slot to
+// its first still-waiting follower, which re-enters the fair queue
+// (bound-exempt — it was admitted once already) carrying the remaining
+// followers.
+func (s *Server) promoteFollowersLocked(r *run) {
+	var live []*run
+	for _, f := range r.followers {
+		if f.state == StateQueued {
+			live = append(live, f)
+		}
+	}
+	r.followers = nil
+	if len(live) == 0 {
+		delete(s.inflight, r.key)
+		return
+	}
+	next := live[0]
+	next.coalesced = false
+	next.leader = nil
+	next.followers = live[1:]
+	for _, f := range next.followers {
+		f.leader = next
+	}
+	s.inflight[r.key] = next
+	s.queue.Requeue(next.client, next)
+	s.metrics.depth.With(next.client).Set(float64(s.queue.Depth(next.client)))
+	s.cond.Broadcast()
+}
+
+// transitionLocked moves a run to a new state and wakes its stream
+// subscribers.
+func (s *Server) transitionLocked(r *run, st RunState) {
+	r.state = st
+	for _, ch := range r.subs {
+		close(ch)
+	}
+	r.subs = nil
+}
+
+// newRunLocked registers a new run record.
+func (s *Server) newRunLocked(client, key string, scen *scenario.Scenario, quick bool) *run {
+	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &run{
+		id:     fmt.Sprintf("r%06d", s.nextID),
+		client: client,
+		key:    key,
+		scen:   scen,
+		quick:  quick,
+		state:  StateQueued,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r.id)
+	return r
+}
+
+// RunInfo is the JSON status document for one run. The id field leads
+// so even naive text tooling (the CI smoke job's sed) can extract it.
+type RunInfo struct {
+	ID             string   `json:"id"`
+	State          string   `json:"state"`
+	Client         string   `json:"client"`
+	Scenario       string   `json:"scenario"`
+	Hash           string   `json:"hash"`
+	Cached         bool     `json:"cached"`
+	Coalesced      bool     `json:"coalesced,omitempty"`
+	Status         string   `json:"status,omitempty"`
+	Failure        string   `json:"failure,omitempty"`
+	Error          string   `json:"error,omitempty"`
+	WallSeconds    float64  `json:"wall_seconds,omitempty"`
+	VirtualSeconds float64  `json:"virtual_seconds,omitempty"`
+	Artifacts      []string `json:"artifacts,omitempty"`
+}
+
+func (s *Server) infoLocked(r *run) RunInfo {
+	info := RunInfo{
+		ID:             r.id,
+		State:          string(r.state),
+		Client:         r.client,
+		Scenario:       r.scen.Name,
+		Hash:           r.key,
+		Cached:         r.cached,
+		Coalesced:      r.coalesced,
+		Status:         string(r.status),
+		Failure:        string(r.failure),
+		Error:          r.errMsg,
+		WallSeconds:    r.wallSeconds,
+		VirtualSeconds: r.virtualSeconds,
+	}
+	if terminal(r.state) && r.arts != nil {
+		base := "/v1/runs/" + r.id + "/"
+		info.Artifacts = []string{base + "campaign.json", base + "stdout", base + "trace.jsonl"}
+	}
+	return info
+}
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// maxScenarioBytes bounds a submission body (a deep scenario file with
+// an embedded topology is tens of kilobytes; a megabyte is generous).
+const maxScenarioBytes = 1 << 20
+
+// clientKey extracts and validates the submitter's fair-share key.
+func clientKey(req *http.Request) (string, error) {
+	key := req.Header.Get("X-Client-Key")
+	if key == "" {
+		key = req.URL.Query().Get("client")
+	}
+	if key == "" {
+		return DefaultClient, nil
+	}
+	if len(key) > 64 {
+		return "", fmt.Errorf("client key longer than 64 bytes")
+	}
+	for _, c := range key {
+		if c < 0x20 || c == 0x7f {
+			return "", fmt.Errorf("client key contains control characters")
+		}
+	}
+	return key, nil
+}
+
+// handleSubmit is POST /v1/runs: parse and validate the scenario text,
+// consult the cache, coalesce onto an identical in-flight run, or admit
+// a new run to the fair-share queue.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	client, err := clientKey(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxScenarioBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"reading body: " + err.Error()})
+		return
+	}
+	if len(body) > maxScenarioBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{"scenario larger than 1MiB"})
+		return
+	}
+	scen, err := scenario.ParseAt("<submission>", strings.NewReader(string(body)))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	if scen.Workload == nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{"scenario names no workload; nothing to run"})
+		return
+	}
+	if scen.GIS != nil {
+		// Submissions resolve file references inside the server's base
+		// directory only: no absolute paths, no escaping upward.
+		if filepath.IsAbs(scen.GIS.File) || strings.Contains(scen.GIS.File, "..") {
+			writeJSON(w, http.StatusBadRequest, errorJSON{"gis file= must be a relative path inside the server's scenario directory"})
+			return
+		}
+	}
+	quick := false
+	switch q := req.URL.Query().Get("quick"); q {
+	case "", "0", "false":
+	case "1", "true":
+		quick = true
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{"quick must be 0/1/true/false"})
+		return
+	}
+	key := CacheKey(scen, quick, s.cfg.Version)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{"server shutting down"})
+		return
+	}
+	if arts, ok := s.cache.Get(key); ok {
+		r := s.newRunLocked(client, key, scen, quick)
+		r.arts = arts
+		r.cached = true
+		r.status, r.failure = runner.StatusOK, runner.FailureNone
+		r.state = StateDone
+		s.metrics.cacheReq.With("hit").Inc()
+		info := s.infoLocked(r)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	if leader, ok := s.inflight[key]; ok {
+		r := s.newRunLocked(client, key, scen, quick)
+		r.coalesced = true
+		r.leader = leader
+		leader.followers = append(leader.followers, r)
+		s.metrics.cacheReq.With("coalesced").Inc()
+		info := s.infoLocked(r)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, info)
+		return
+	}
+	r := s.newRunLocked(client, key, scen, quick)
+	if err := s.queue.Enqueue(client, r); err != nil {
+		// Explicit rejection: undo the registration so a 429'd
+		// submission leaves no half-created run behind.
+		delete(s.runs, r.id)
+		s.order = s.order[:len(s.order)-1]
+		s.nextID--
+		r.cancel()
+		s.metrics.rejected.With(client).Inc()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{ErrQueueFull.Error()})
+		return
+	}
+	s.inflight[key] = r
+	s.metrics.cacheReq.With("miss").Inc()
+	s.metrics.depth.With(client).Set(float64(s.queue.Depth(client)))
+	s.cond.Broadcast()
+	info := s.infoLocked(r)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// handleList is GET /v1/runs: every run in admission order.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := struct {
+		Runs []RunInfo `json:"runs"`
+	}{Runs: make([]RunInfo, 0, len(s.order))}
+	for _, id := range s.order {
+		out.Runs = append(out.Runs, s.infoLocked(s.runs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the {id} path value.
+func (s *Server) lookup(req *http.Request) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[req.PathValue("id")]
+}
+
+// handleGet is GET /v1/runs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"no such run"})
+		return
+	}
+	s.mu.Lock()
+	info := s.infoLocked(r)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleCancel is DELETE /v1/runs/{id}: a queued run settles canceled
+// immediately (promoting a follower if it led a coalesced group); a
+// running run has its context cancelled and settles when the runner
+// observes it; a terminal run is left untouched.
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"no such run"})
+		return
+	}
+	s.mu.Lock()
+	switch r.state {
+	case StateQueued:
+		if r.coalesced {
+			// Detach from the leader; everyone else keeps waiting.
+			if l := r.leader; l != nil {
+				for i, f := range l.followers {
+					if f == r {
+						l.followers = append(l.followers[:i], l.followers[i+1:]...)
+						break
+					}
+				}
+			}
+		} else {
+			s.queue.Remove(func(_ string, v *run) bool { return v == r })
+			s.metrics.depth.With(r.client).Set(float64(s.queue.Depth(r.client)))
+			s.promoteFollowersLocked(r)
+		}
+		r.cancel()
+		r.status, r.failure = runner.StatusCanceled, runner.FailureCanceled
+		s.metrics.completed.With(string(runner.StatusCanceled)).Inc()
+		s.transitionLocked(r, StateCanceled)
+	case StateRunning:
+		r.cancel() // execute() settles the run
+	}
+	info := s.infoLocked(r)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// artifactHandler serves one of a terminal run's artifacts.
+func (s *Server) artifactHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		r := s.lookup(req)
+		if r == nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{"no such run"})
+			return
+		}
+		s.mu.Lock()
+		done := terminal(r.state)
+		arts := r.arts
+		s.mu.Unlock()
+		if !done || arts == nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{"run has no artifacts (not finished, or canceled before it ran)"})
+			return
+		}
+		var body []byte
+		ctype := "text/plain; charset=utf-8"
+		switch kind {
+		case "campaign":
+			body, ctype = arts.CampaignJSON, "application/json"
+		case "stdout":
+			body = arts.Stdout
+		case "trace":
+			body, ctype = arts.TraceJSONL, "application/x-ndjson"
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Write(body)
+	}
+}
+
+// handleStream is GET /v1/runs/{id}/stream: a chunked stream of RunInfo
+// JSON lines, one per state transition, ending with the terminal state.
+// `curl .../stream` therefore blocks until the run finishes — the CI
+// smoke job uses exactly that as its wait-for-completion primitive.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{"no such run"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for {
+		s.mu.Lock()
+		info := s.infoLocked(r)
+		isTerminal := terminal(r.state)
+		var ch chan struct{}
+		if !isTerminal {
+			ch = r.subscribeLocked()
+		}
+		s.mu.Unlock()
+		enc.Encode(info)
+		if fl != nil {
+			fl.Flush()
+		}
+		if isTerminal {
+			return
+		}
+		select {
+		case <-ch:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WriteProm(w)
+}

@@ -142,6 +142,13 @@ func RunScenarioEnv(s *Scenario, env ScenarioEnv) (*Report, error) {
 	return core.RunScenarioEnv(s, env)
 }
 
+// FormatScenarioReport renders a scenario run's deterministic text
+// report — the exact bytes `mgrid -scenario` prints and mgridd stores as
+// a run's stdout artifact.
+func FormatScenarioReport(scenarioName string, r *Report) string {
+	return core.FormatScenarioReport(scenarioName, r)
+}
+
 // Campaign runner types. The runner executes many experiments on a
 // bounded worker pool — each in its own isolated engine — with
 // per-experiment timeouts, one retry on failure, and machine-readable
@@ -160,9 +167,10 @@ type (
 
 // Campaign result statuses.
 const (
-	CampaignOK      = runner.StatusOK
-	CampaignFailed  = runner.StatusFailed
-	CampaignTimeout = runner.StatusTimeout
+	CampaignOK       = runner.StatusOK
+	CampaignFailed   = runner.StatusFailed
+	CampaignTimeout  = runner.StatusTimeout
+	CampaignCanceled = runner.StatusCanceled
 )
 
 // Campaign returns one task per registered experiment, in paper order.
