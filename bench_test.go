@@ -432,6 +432,75 @@ func BenchmarkParallelEngineEvents(b *testing.B) {
 	}
 }
 
+// benchPartitionedFig14 runs NPB MG class W over the vBNS testbed (the
+// Fig. 14 grid scaled to four hosts per site, four ranks at UCSD and
+// four at UIUC) once per iteration, serial or partitioned across shards
+// with automatic cluster placement, and reports the model's event
+// throughput. The scale matters: ~250k events over ~4600 one-millisecond
+// lookahead windows gives each campus shard enough work per window to
+// amortize the barrier. Real events/sec scaling still needs real cores:
+// on a single-CPU runner the shard sub-benches pin the partition layer's
+// coordination overhead instead, and CI's speedup gate (cmd/benchjson
+// -speedup) only arms itself on multi-core machines.
+func benchPartitionedFig14(b *testing.B, shards int) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		spec, err := topology.VBNSSpec(topology.VBNSConfig{
+			HostsPerSite:  4,
+			BottleneckBps: topology.OC12Bps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.Fig14Scenario()
+		s.Topology = spec
+		s.HostRanks = []string{
+			"ucsd0", "ucsd1", "ucsd2", "ucsd3",
+			"uiuc0", "uiuc1", "uiuc2", "uiuc3",
+		}
+		s.Workload.Bench = "MG"
+		s.Workload.Class = 'W'
+		s.Workload.Ranks = 8
+		if shards > 0 {
+			s.EngineShards = shards
+			s.Partition = &ScenarioPartition{Auto: true}
+		}
+		m, err := core.BuildScenario(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if shards > 0 && !m.Partitioned() {
+			b.Fatal("vBNS build did not partition")
+		}
+		if _, err := m.RunWorkload(s); err != nil {
+			b.Fatal(err)
+		}
+		if pe := m.ParallelEngine(); pe != nil {
+			for j := 0; j < pe.NumShards(); j++ {
+				events += pe.Shard(j).Dispatched()
+			}
+		} else {
+			events += m.Eng.Dispatched()
+		}
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkPartitionedFig14 pins the tentpole of the partitioned-model
+// work: the same multi-cluster figure workload on the serial engine and
+// on the partitioned parallel engine at 2 and 4 shards. The runs are
+// byte-identical in their results (TestPartitionedRunByteIdentical);
+// this bench measures what the partition buys in events/sec.
+func BenchmarkPartitionedFig14(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchPartitionedFig14(b, 0) })
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchPartitionedFig14(b, shards)
+		})
+	}
+}
+
 // BenchmarkProcContextSwitch measures process park/resume cost.
 func BenchmarkProcContextSwitch(b *testing.B) {
 	eng := simcore.NewEngine(1)

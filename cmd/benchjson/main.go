@@ -10,12 +10,26 @@
 // threshold, or disappears):
 //
 //	go run ./cmd/benchjson -compare BENCH_3.json,BENCH_3.new.json -threshold 20
+//
+// ns/op against a baseline pinned on a different machine is apples to
+// oranges; -same-procs turns the comparison into a no-op unless the two
+// artifacts record the same CPU count.
+//
+// Speedup gate (exit 1 when the parallel benchmark fails to beat the
+// serial one by -min-ratio; a no-op below -min-procs CPUs, since there
+// is no multi-core scaling to measure on a single core):
+//
+//	go run ./cmd/benchjson -speedup BENCH_8.new.json \
+//	    -serial 'BenchmarkPartitionedFig14/serial' \
+//	    -parallel 'BenchmarkPartitionedFig14/shards=4' \
+//	    -metric events/s -min-ratio 1.5 -min-procs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"microgrid/internal/benchjson"
@@ -24,8 +38,16 @@ import (
 func main() {
 	out := flag.String("out", "", "write aggregated results from stdin to this JSON file")
 	note := flag.String("note", "", "provenance note stored in the artifact")
+	procs := flag.Int("procs", 0, "CPU count recorded in the artifact (0 = this machine's)")
 	compare := flag.String("compare", "", "OLD,NEW JSON files to diff benchstat-style")
 	threshold := flag.Float64("threshold", 20, "ns/op regression threshold in percent for -compare")
+	sameProcs := flag.Bool("same-procs", false, "skip -compare when the artifacts' CPU counts differ")
+	speedup := flag.String("speedup", "", "JSON artifact to check a parallel-vs-serial speedup ratio in")
+	serial := flag.String("serial", "", "serial benchmark name for -speedup")
+	parallel := flag.String("parallel", "", "parallel benchmark name for -speedup")
+	metric := flag.String("metric", "", "higher-is-better metric for -speedup (empty = ns/op ratio)")
+	minRatio := flag.Float64("min-ratio", 1.5, "minimum parallel/serial speedup for -speedup")
+	minProcs := flag.Int("min-procs", 4, "-speedup passes trivially on artifacts from machines with fewer CPUs")
 	flag.Parse()
 
 	switch {
@@ -37,11 +59,34 @@ func main() {
 		if len(results) == 0 {
 			fatal(fmt.Errorf("no benchmark lines on stdin"))
 		}
+		if *procs == 0 {
+			*procs = runtime.NumCPU()
+		}
 		agg := benchjson.Aggregate(results)
-		if err := benchjson.WriteFile(*out, benchjson.File{Note: *note, Results: agg}); err != nil {
+		if err := benchjson.WriteFile(*out, benchjson.File{Note: *note, Procs: *procs, Results: agg}); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(agg))
+		fmt.Printf("wrote %s (%d benchmarks, %d CPUs)\n", *out, len(agg), *procs)
+	case *speedup != "":
+		f, err := benchjson.ReadFile(*speedup)
+		if err != nil {
+			fatal(err)
+		}
+		if f.Procs < *minProcs {
+			fmt.Printf("speedup gate skipped: %s was produced on %d CPUs (< %d); no multi-core scaling to measure\n",
+				*speedup, f.Procs, *minProcs)
+			return
+		}
+		ratio, err := benchjson.Speedup(f, *serial, *parallel, *metric)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("speedup %s vs %s: %.2fx (min %.2fx, %d CPUs)\n",
+			*parallel, *serial, ratio, *minRatio, f.Procs)
+		if ratio < *minRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: speedup %.2fx below the %.2fx floor\n", ratio, *minRatio)
+			os.Exit(1)
+		}
 	case *compare != "":
 		parts := strings.Split(*compare, ",")
 		if len(parts) != 2 {
@@ -54,6 +99,11 @@ func main() {
 		newF, err := benchjson.ReadFile(parts[1])
 		if err != nil {
 			fatal(err)
+		}
+		if *sameProcs && oldF.Procs != newF.Procs {
+			fmt.Printf("compare skipped: %s pinned on %d CPUs, %s measured on %d — ns/op not comparable\n",
+				parts[0], oldF.Procs, parts[1], newF.Procs)
+			return
 		}
 		deltas, regressed := benchjson.Compare(oldF.Results, newF.Results, *threshold)
 		fmt.Print(benchjson.FormatTable(deltas))

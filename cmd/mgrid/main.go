@@ -49,6 +49,7 @@ func main() {
 		traceCat = flag.String("trace-categories", "all", "trace categories, e.g. 'net,mpi' or 'all,-engine'")
 		traceBuf = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = default 65536)")
 		shards   = flag.Int("shards", 0, "simulation engine: 0 = serial (default), N >= 1 = conservative parallel engine with N shards")
+		partArg  = flag.String("partition", "", "partition the grid model across shards: 'auto' or 'node=shard,...' (requires -shards >= 2 or a scenario engine line)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,14 @@ func main() {
 	}
 	if *shards > 0 {
 		microgrid.SetEngineShards(*shards)
+	}
+	if *partArg != "" {
+		pc, err := microgrid.ParsePartitionFlag(*partArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		microgrid.SetEnginePartition(pc)
 	}
 
 	if *list {

@@ -40,6 +40,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		scen    = flag.String("scenario", "", "declarative .scenario file (overrides all other flags)")
 		shards  = flag.Int("shards", 0, "simulation engine: 0 = serial (default), N >= 1 = conservative parallel engine with N shards")
+		partArg = flag.String("partition", "", "partition the grid model across shards: 'auto' or 'node=shard,...'")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -47,6 +48,13 @@ func main() {
 	}
 	if *shards > 0 {
 		microgrid.SetEngineShards(*shards)
+	}
+	if *partArg != "" {
+		pc, err := microgrid.ParsePartitionFlag(*partArg)
+		if err != nil {
+			fail(err)
+		}
+		microgrid.SetEnginePartition(pc)
 	}
 	if *scen != "" {
 		s, err := microgrid.LoadScenario(*scen)

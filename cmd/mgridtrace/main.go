@@ -4,6 +4,8 @@
 // Usage:
 //
 //	mgridtrace summary trace.jsonl          # event counts per category/name + dropped
+//	mgridtrace summary -partition-scenario s.scenario trace.jsonl
+//	                                        # + per-shard events / busy time / cross-shard sends
 //	mgridtrace critical-path trace.jsonl    # longest MPI dependency chain
 //	mgridtrace links trace.jsonl            # per-link utilization timeline
 //	mgridtrace hosts trace.jsonl            # per-host CPU busy fractions
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"microgrid"
 	"microgrid/internal/trace"
 )
 
@@ -44,6 +47,7 @@ func main() {
 	var (
 		maxSteps = fs.Int("max-steps", 40, "critical-path: steps to print (0 = all)")
 		buckets  = fs.Int("buckets", 20, "links: timeline buckets")
+		partScen = fs.String("partition-scenario", "", "summary: scenario file whose partition attributes events to PDES shards")
 	)
 	fs.Parse(os.Args[2:])
 	if fs.NArg() < 1 {
@@ -64,6 +68,24 @@ func main() {
 	switch sub {
 	case "summary":
 		fmt.Print(trace.Summary(runs))
+		if *partScen != "" {
+			s, err := microgrid.LoadScenario(*partScen)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			shardOf, lookahead, shards, err := microgrid.PartitionPreview(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if shardOf == nil {
+				fmt.Fprintf(os.Stderr, "note: scenario %s partitions nothing (serial engine, no partition line, or a single cluster)\n", s.Name)
+				break
+			}
+			fmt.Printf("partition: %d shards, lookahead %s\n", shards, lookahead)
+			fmt.Print(trace.ShardSummary(runs, shardOf))
+		}
 	case "critical-path":
 		for _, run := range runs {
 			fmt.Print(trace.FormatCriticalPath(run, *maxSteps))

@@ -33,7 +33,12 @@ type Result struct {
 // File is the BENCH_N.json artifact layout.
 type File struct {
 	// Note describes provenance (host, flags, date) — informational only.
-	Note    string   `json:"note,omitempty"`
+	Note string `json:"note,omitempty"`
+	// Procs records the CPU count of the machine that produced the
+	// artifact. Machine-dependent gates key off it: the shard speedup
+	// gate only arms on multi-core artifacts, and ns/op comparisons can
+	// refuse to diff artifacts from differently sized machines.
+	Procs   int      `json:"procs,omitempty"`
 	Results []Result `json:"results"`
 }
 
@@ -163,6 +168,41 @@ func ReadFile(path string) (File, error) {
 		return f, fmt.Errorf("benchjson: %s: %w", path, err)
 	}
 	return f, nil
+}
+
+// Speedup computes how much faster the parallel benchmark runs than the
+// serial one within a single artifact. With metric set (e.g. "events/s",
+// where bigger is better) the ratio is parallel/serial of that metric;
+// with metric empty it is serial/parallel of ns/op. Either way, >1 means
+// the parallel benchmark wins.
+func Speedup(f File, serial, parallel, metric string) (float64, error) {
+	find := func(name string) (Result, error) {
+		for _, r := range f.Results {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("benchjson: no benchmark %q in artifact", name)
+	}
+	s, err := find(serial)
+	if err != nil {
+		return 0, err
+	}
+	p, err := find(parallel)
+	if err != nil {
+		return 0, err
+	}
+	if metric != "" {
+		sv, pv := s.Metrics[metric], p.Metrics[metric]
+		if sv <= 0 || pv <= 0 {
+			return 0, fmt.Errorf("benchjson: metric %q missing or nonpositive (serial %g, parallel %g)", metric, sv, pv)
+		}
+		return pv / sv, nil
+	}
+	if s.NsPerOp <= 0 || p.NsPerOp <= 0 {
+		return 0, fmt.Errorf("benchjson: ns/op missing (serial %g, parallel %g)", s.NsPerOp, p.NsPerOp)
+	}
+	return s.NsPerOp / p.NsPerOp, nil
 }
 
 // Delta is one benchmark's old-vs-new comparison.

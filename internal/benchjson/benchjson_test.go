@@ -69,18 +69,43 @@ func TestFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := WriteFile(path, File{Note: "unit test", Results: Aggregate(results)}); err != nil {
+	if err := WriteFile(path, File{Note: "unit test", Procs: 4, Results: Aggregate(results)}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Note != "unit test" || len(f.Results) != 3 {
+	if f.Note != "unit test" || f.Procs != 4 || len(f.Results) != 3 {
 		t.Fatalf("round trip lost data: %+v", f)
 	}
 	if f.Results[0].Metrics["worst_err_%"] != 8.547 {
 		t.Errorf("metrics lost in round trip: %+v", f.Results[0])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	f := File{
+		Procs: 4,
+		Results: []Result{
+			{Name: "BenchmarkP/serial", NsPerOp: 300, Metrics: map[string]float64{"events/s": 1e6}},
+			{Name: "BenchmarkP/shards=4", NsPerOp: 150, Metrics: map[string]float64{"events/s": 1.8e6}},
+			{Name: "BenchmarkP/broken", NsPerOp: 100},
+		},
+	}
+	// ns/op ratio: serial/parallel.
+	if r, err := Speedup(f, "BenchmarkP/serial", "BenchmarkP/shards=4", ""); err != nil || r != 2 {
+		t.Errorf("ns/op speedup = %g, %v; want 2", r, err)
+	}
+	// Metric ratio: parallel/serial, higher is better.
+	if r, err := Speedup(f, "BenchmarkP/serial", "BenchmarkP/shards=4", "events/s"); err != nil || r != 1.8 {
+		t.Errorf("events/s speedup = %g, %v; want 1.8", r, err)
+	}
+	if _, err := Speedup(f, "BenchmarkP/serial", "BenchmarkP/missing", ""); err == nil {
+		t.Error("missing parallel benchmark not reported")
+	}
+	if _, err := Speedup(f, "BenchmarkP/serial", "BenchmarkP/broken", "events/s"); err == nil {
+		t.Error("missing metric not reported")
 	}
 }
 

@@ -41,12 +41,21 @@ func FormatTimeline(entries []TimelineEntry) string {
 // Injector arms fault schedules against a simulation. Network faults
 // need only a netsim.Network; host faults (crash, cpuload, memhog) need
 // a virtual.Grid too.
+//
+// On a partitioned model, host faults execute on the target host's PDES
+// shard and link faults at a global window barrier (link state and the
+// routing table are shared by every shard), so an armed schedule behaves
+// identically however the grid is partitioned.
 type Injector struct {
 	eng  *simcore.Engine
 	net  *netsim.Network
 	grid *virtual.Grid // optional
 
-	timeline []TimelineEntry
+	// timeline slots are reserved at Arm time, one per scheduled action,
+	// and written in place when the action fires. Fixed slots keep the
+	// record deterministic when actions on different shards fire inside
+	// the same synchronization window.
+	slots []TimelineEntry
 }
 
 // NewInjector builds an injector. grid may be nil when the schedule
@@ -55,13 +64,30 @@ func NewInjector(eng *simcore.Engine, net *netsim.Network, grid *virtual.Grid) *
 	return &Injector{eng: eng, net: net, grid: grid}
 }
 
-// Timeline returns what the injector has done so far, in the order it
-// happened.
-func (in *Injector) Timeline() []TimelineEntry { return in.timeline }
+// Timeline returns what the injector has done so far: every fired
+// action, in schedule order (time-sort with FormatTimeline to render).
+func (in *Injector) Timeline() []TimelineEntry {
+	out := make([]TimelineEntry, 0, len(in.slots))
+	for _, e := range in.slots {
+		if e.Action != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
-func (in *Injector) record(at simcore.Time, action, target, detail string) {
-	in.timeline = append(in.timeline, TimelineEntry{At: at, Action: action, Target: target, Detail: detail})
-	if rec := in.eng.Recorder(); rec.Enabled(trace.CatChaos) {
+// slot reserves one timeline slot; all slots are reserved during Arm,
+// before the engine runs, so concurrent shard writes never reallocate.
+func (in *Injector) slot() int {
+	in.slots = append(in.slots, TimelineEntry{})
+	return len(in.slots) - 1
+}
+
+// recordAt fills a reserved slot and emits the chaos trace event on the
+// recorder of the engine the action executed on.
+func (in *Injector) recordAt(eng *simcore.Engine, slot int, at simcore.Time, action, target, detail string) {
+	in.slots[slot] = TimelineEntry{At: at, Action: action, Target: target, Detail: detail}
+	if rec := eng.Recorder(); rec.Enabled(trace.CatChaos) {
 		d := target
 		if detail != "" {
 			d += " " + detail
@@ -70,9 +96,21 @@ func (in *Injector) record(at simcore.Time, action, target, detail string) {
 	}
 }
 
+// atGlobal schedules a link action: at a global barrier when the model
+// runs partitioned (link state is visible to every shard), as a plain
+// engine event otherwise.
+func (in *Injector) atGlobal(t simcore.Time, fn func()) {
+	if pe := in.eng.Parallel(); pe != nil {
+		pe.AtGlobal(t, fn)
+		return
+	}
+	in.eng.At(t, fn)
+}
+
 // Arm validates every event against the simulation, resolves jitter
-// (one RNG draw per jittered event, in schedule order — deterministic
-// for a fixed engine seed), and schedules the injections. Call before
+// (one random stream per event, derived from the schedule name and
+// event index — deterministic for a fixed seed and independent of how
+// the model is partitioned), and schedules the injections. Call before
 // Engine.Run.
 func (in *Injector) Arm(s *Schedule) error {
 	if err := s.Validate(); err != nil {
@@ -83,16 +121,16 @@ func (in *Injector) Arm(s *Schedule) error {
 			return fmt.Errorf("chaos: schedule %s event %d: %w", s.Name, i, err)
 		}
 	}
-	for _, e := range s.Events {
+	for i, e := range s.Events {
 		at := e.At
 		if e.Jitter > 0 {
-			at += simcore.Time(in.eng.Rand().Int63n(int64(2*e.Jitter))) - simcore.Time(e.Jitter)
+			rng := in.eng.DeriveRand(fmt.Sprintf("chaos:%s:%d", s.Name, i))
+			at += simcore.Time(rng.Int63n(int64(2*e.Jitter))) - simcore.Time(e.Jitter)
 			if at < 0 {
 				at = 0
 			}
 		}
-		e := e
-		in.eng.At(at, func() { in.fire(e) })
+		in.arm(e, at)
 	}
 	return nil
 }
@@ -120,96 +158,135 @@ func (in *Injector) check(e Event) error {
 	return nil
 }
 
-// fire applies one event at the current engine time.
-func (in *Injector) fire(e Event) {
-	now := in.eng.Now()
+// arm schedules one event's actions at their resolved times. Host
+// faults run on the target host's engine; link faults (and their
+// restores, expanded here so every phase lands at a fixed absolute
+// time) run at a global barrier when partitioned.
+func (in *Injector) arm(e Event, at simcore.Time) {
 	link := func() *netsim.Link { return in.net.FindLink(e.A, e.B) }
 	ab := e.A + "–" + e.B
 	switch e.Kind {
 	case HostCrash:
+		slot := in.slot()
+		rebootSlot := -1
+		if e.For > 0 {
+			rebootSlot = in.slot()
+		}
 		if in.grid != nil {
 			h := in.grid.Host(e.Host)
-			h.Crash()
-			in.record(now, "crash", e.Host, "")
-			if e.For > 0 {
-				in.eng.After(e.For, func() {
-					if err := h.Reboot(); err != nil {
-						in.record(in.eng.Now(), "reboot-fail", e.Host, err.Error())
-						return
-					}
-					in.record(in.eng.Now(), "reboot", e.Host, "")
-				})
-			}
+			heng := h.Engine()
+			heng.At(at, func() {
+				h.Crash()
+				in.recordAt(heng, slot, heng.Now(), "crash", e.Host, "")
+				if e.For > 0 {
+					heng.After(e.For, func() {
+						if err := h.Reboot(); err != nil {
+							in.recordAt(heng, rebootSlot, heng.Now(), "reboot-fail", e.Host, err.Error())
+							return
+						}
+						in.recordAt(heng, rebootSlot, heng.Now(), "reboot", e.Host, "")
+					})
+				}
+			})
 		} else {
 			n := in.net.Node(e.Host)
-			n.SetCrashed(true)
-			in.record(now, "crash", e.Host, "")
-			if e.For > 0 {
-				in.eng.After(e.For, func() {
-					n.SetCrashed(false)
-					in.record(in.eng.Now(), "reboot", e.Host, "")
-				})
-			}
+			neng := n.Engine()
+			neng.At(at, func() {
+				n.SetCrashed(true)
+				in.recordAt(neng, slot, neng.Now(), "crash", e.Host, "")
+				if e.For > 0 {
+					neng.After(e.For, func() {
+						n.SetCrashed(false)
+						in.recordAt(neng, rebootSlot, neng.Now(), "reboot", e.Host, "")
+					})
+				}
+			})
 		}
 	case LinkDown:
-		link().SetDown(true)
-		in.record(now, "linkdown", ab, "")
+		slot := in.slot()
+		in.atGlobal(at, func() {
+			link().SetDown(true)
+			in.recordAt(in.eng, slot, at, "linkdown", ab, "")
+		})
 		if e.For > 0 {
-			in.eng.After(e.For, func() {
+			up, upAt := in.slot(), at.Add(e.For)
+			in.atGlobal(upAt, func() {
 				link().SetDown(false)
-				in.record(in.eng.Now(), "linkup", ab, "")
+				in.recordAt(in.eng, up, upAt, "linkup", ab, "")
 			})
 		}
 	case LinkFlap:
 		// Expand the flap here so each phase lands on the timeline.
 		t := simcore.Duration(0)
 		for i := 0; i < e.Count; i++ {
-			in.eng.After(t, func() {
+			down, downAt := in.slot(), at.Add(t)
+			in.atGlobal(downAt, func() {
 				link().SetDown(true)
-				in.record(in.eng.Now(), "linkdown", ab, "flap")
+				in.recordAt(in.eng, down, downAt, "linkdown", ab, "flap")
 			})
-			in.eng.After(t+e.Down, func() {
+			up, upAt := in.slot(), at.Add(t+e.Down)
+			in.atGlobal(upAt, func() {
 				link().SetDown(false)
-				in.record(in.eng.Now(), "linkup", ab, "flap")
+				in.recordAt(in.eng, up, upAt, "linkup", ab, "flap")
 			})
 			t += e.Down + e.Up
 		}
 	case LinkDegrade:
-		link().Degrade(e.BWFactor, e.DelayFactor, e.Loss)
-		in.record(now, "degrade", ab,
-			fmt.Sprintf("bw=%g delay=%g loss=%g", e.BWFactor, e.DelayFactor, e.Loss))
+		slot := in.slot()
+		in.atGlobal(at, func() {
+			link().Degrade(e.BWFactor, e.DelayFactor, e.Loss)
+			in.recordAt(in.eng, slot, at, "degrade", ab,
+				fmt.Sprintf("bw=%g delay=%g loss=%g", e.BWFactor, e.DelayFactor, e.Loss))
+		})
 		if e.For > 0 {
-			in.eng.After(e.For, func() {
+			restore, restoreAt := in.slot(), at.Add(e.For)
+			in.atGlobal(restoreAt, func() {
 				link().Restore()
-				in.record(in.eng.Now(), "restore", ab, "")
+				in.recordAt(in.eng, restore, restoreAt, "restore", ab, "")
 			})
 		}
 	case CPULoad:
-		h := in.grid.Host(e.Host)
-		task := h.Phys.StartCompetitor("chaos-load:" + e.Host)
-		in.record(now, "cpuload", e.Host, "on "+h.Phys.Name)
+		slot := in.slot()
+		endSlot := -1
 		if e.For > 0 {
-			in.eng.After(e.For, func() {
-				task.SetBusyLoop(false)
-				in.record(in.eng.Now(), "cpuload-end", e.Host, "")
-			})
+			endSlot = in.slot()
 		}
+		h := in.grid.Host(e.Host)
+		heng := h.Engine()
+		heng.At(at, func() {
+			task := h.Phys.StartCompetitor("chaos-load:" + e.Host)
+			in.recordAt(heng, slot, heng.Now(), "cpuload", e.Host, "on "+h.Phys.Name)
+			if e.For > 0 {
+				heng.After(e.For, func() {
+					task.SetBusyLoop(false)
+					in.recordAt(heng, endSlot, heng.Now(), "cpuload-end", e.Host, "")
+				})
+			}
+		})
 	case MemPressure:
-		h := in.grid.Host(e.Host)
-		mem, err := h.Mem.NewProcess("chaos-memhog:" + e.Host)
-		if err == nil {
-			err = mem.Malloc(e.Bytes)
-		}
-		if err != nil {
-			in.record(now, "memhog-fail", e.Host, err.Error())
-			return
-		}
-		in.record(now, "memhog", e.Host, fmt.Sprintf("%d bytes", e.Bytes))
+		slot := in.slot()
+		endSlot := -1
 		if e.For > 0 {
-			in.eng.After(e.For, func() {
-				mem.Release()
-				in.record(in.eng.Now(), "memhog-end", e.Host, "")
-			})
+			endSlot = in.slot()
 		}
+		h := in.grid.Host(e.Host)
+		heng := h.Engine()
+		heng.At(at, func() {
+			mem, err := h.Mem.NewProcess("chaos-memhog:" + e.Host)
+			if err == nil {
+				err = mem.Malloc(e.Bytes)
+			}
+			if err != nil {
+				in.recordAt(heng, slot, heng.Now(), "memhog-fail", e.Host, err.Error())
+				return
+			}
+			in.recordAt(heng, slot, heng.Now(), "memhog", e.Host, fmt.Sprintf("%d bytes", e.Bytes))
+			if e.For > 0 {
+				heng.After(e.For, func() {
+					mem.Release()
+					in.recordAt(heng, endSlot, heng.Now(), "memhog-end", e.Host, "")
+				})
+			}
+		})
 	}
 }

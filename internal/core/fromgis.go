@@ -28,6 +28,9 @@ type GISBuildOptions struct {
 	StaggerSpread float64
 	// Shards selects the simulation engine, as in BuildConfig.Shards.
 	Shards int
+	// Partition places topology clusters on their own shards, as in
+	// BuildConfig.Partition (requires direct mode, i.e. nil PhysMIPS).
+	Partition *PartitionConfig
 }
 
 // BuildFromGIS constructs a MicroGrid from the virtual-resource records of
@@ -116,39 +119,60 @@ func BuildFromGIS(server *gis.Server, configName string, opts GISBuildOptions) (
 		}
 	}
 
+	partition := resolvePartition(opts.Partition)
+	if partition != nil && opts.PhysMIPS != nil {
+		return nil, fmt.Errorf("core: partitioning requires direct mode (no emulation platform)")
+	}
 	eng, driver, par := newDriver(opts.Seed, resolveShards(opts.Shards))
+	var planOf func() (*partitionPlan, error)
+	if par != nil && partition != nil {
+		vcfg.AssignEngines, planOf = partitionAssign(par, partition)
+	}
 	grid, err := virtual.NewGrid(eng, vcfg, virtual.LANWire(vcfg.Hosts, bw, perSide))
 	if err != nil {
 		return nil, err
 	}
+	var plan *partitionPlan
+	if planOf != nil {
+		if plan, err = planOf(); err != nil {
+			return nil, err
+		}
+	}
 	if par != nil {
-		if d, ok := grid.Network().MinLinkDelay(); ok {
+		if plan != nil {
+			par.SetLookahead(plan.lookahead)
+		} else if d, ok := grid.Network().MinLinkDelay(); ok {
 			par.SetLookahead(d)
 		}
 	}
 	m := &MicroGrid{
-		Eng:        eng,
-		driver:     driver,
-		par:        par,
-		Grid:       grid,
-		GIS:        server,
-		Registry:   globus.NewRegistry(),
-		Hosts:      hostNames,
-		ConfigName: configName,
+		Eng:         eng,
+		driver:      driver,
+		par:         par,
+		plan:        plan,
+		Grid:        grid,
+		GIS:         server,
+		Registry:    globus.NewRegistry(),
+		Hosts:       hostNames,
+		ConfigName:  configName,
+		gatekeepers: make(map[string]*globus.Gatekeeper),
 		cfg: BuildConfig{
 			Seed:      opts.Seed,
 			Rate:      opts.Rate,
 			Quantum:   opts.Quantum,
 			Shards:    opts.Shards,
+			Partition: opts.Partition,
 			Emulation: emulationMarker(opts.PhysMIPS != nil),
 		},
 	}
+	m.wireGISHome()
 	for _, name := range hostNames {
 		gk, err := globus.StartGatekeeper(grid.Host(name), 0, m.Registry)
 		if err != nil {
 			return nil, err
 		}
 		gk.RegisterInGIS(server, OrgUnit, configName, grid.Host(name).Phys.Name)
+		m.gatekeepers[name] = gk
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"microgrid/internal/chaos"
 	"microgrid/internal/gis"
@@ -9,7 +10,6 @@ import (
 	"microgrid/internal/netsim"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
-	"microgrid/internal/trace"
 	"microgrid/internal/virtual"
 	"microgrid/internal/vtime"
 )
@@ -50,10 +50,19 @@ type BuildConfig struct {
 	// Shards selects the simulation engine: 0 (default) runs the classic
 	// serial engine; n ≥ 1 runs the conservative parallel engine with n
 	// shards, whose lookahead is derived from the virtual network's
-	// minimum link latency. The grid model currently occupies shard 0
-	// (see DESIGN.md §10), so results are bit-identical to serial at any
-	// shard count; engine-level workloads spread across all shards.
+	// minimum link latency. Without Partition the grid model occupies
+	// shard 0 (see DESIGN.md §10), so results are bit-identical to serial
+	// at any shard count; engine-level workloads spread across all shards.
 	Shards int
+	// Partition, with Shards ≥ 1, spreads the grid model itself across
+	// the shards: each cluster of the virtual topology (connected
+	// component of sub-millisecond links) runs on its own shard, and
+	// wide-area hops become cross-shard events with the inter-cluster
+	// latency as lookahead. Requires direct mode (nil Emulation); a
+	// single-cluster topology partitions to a no-op. Results are
+	// bit-identical at any shard count — only CatEngine dispatch
+	// telemetry (stripped from partitioned traces) is shard-dependent.
+	Partition *PartitionConfig
 	// Trace, when non-nil, attaches a structured trace recorder to this
 	// instance's engine. Nil falls back to the global tracing switch (see
 	// EnableTracing), which cmd/mgrid's -trace flag arms.
@@ -73,12 +82,24 @@ type MicroGrid struct {
 	ConfigName  string
 	cfg         BuildConfig
 	ran         bool
+	gkMu        sync.Mutex
 	gatekeepers map[string]*globus.Gatekeeper
 	injector    *chaos.Injector
 	// driver executes the simulation: the serial engine itself, or the
 	// parallel engine coordinating Eng (= its shard 0) and its peers.
 	driver simcore.Sim
 	par    *simcore.ParallelEngine
+	// plan is the resolved cluster→shard placement (nil when the model
+	// is not partitioned).
+	plan *partitionPlan
+	// The GIS directory lives with Hosts[0]; on a multi-cluster grid,
+	// updates from another cluster bear the inter-cluster latency (and,
+	// when partitioned, cross onto the GIS's shard) so discovery sees
+	// transitions at the same virtual instants at any shard count.
+	clusterOf  map[string]int
+	gisCluster int
+	gisDelay   simcore.Duration
+	gisEng     *simcore.Engine
 }
 
 // engineShardsOverride, when > 0, forces every subsequently built
@@ -99,6 +120,24 @@ func resolveShards(cfgShards int) int {
 		return engineShardsOverride
 	}
 	return cfgShards
+}
+
+// enginePartitionOverride, when non-nil, partitions every subsequently
+// built instance (the CLIs' -partition flag); it outranks
+// BuildConfig.Partition.
+var enginePartitionOverride *PartitionConfig
+
+// SetEnginePartition installs a process-wide partition override; nil
+// restores per-config choice.
+func SetEnginePartition(pc *PartitionConfig) { enginePartitionOverride = pc }
+
+// resolvePartition applies the process-wide override to a config's
+// choice.
+func resolvePartition(cfgPartition *PartitionConfig) *PartitionConfig {
+	if enginePartitionOverride != nil {
+		return enginePartitionOverride
+	}
+	return cfgPartition
 }
 
 // newDriver builds the chosen engine pair: the Engine model code runs
@@ -129,17 +168,14 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	if cfg.Target.Procs <= 0 {
 		return nil, fmt.Errorf("core: target needs at least one processor")
 	}
+	partition := resolvePartition(cfg.Partition)
+	if partition != nil && cfg.Emulation != nil {
+		return nil, fmt.Errorf("core: partitioning requires direct mode (no emulation platform)")
+	}
 	eng, driver, par := newDriver(cfg.Seed, resolveShards(cfg.Shards))
 	configName := cfg.Target.Name
 	if cfg.Emulation != nil {
 		configName += " (emulated)"
-	}
-	if cfg.Trace != nil {
-		rec := trace.NewRecorder(cfg.Trace.BufSize, cfg.Trace.Mask)
-		rec.Label = configName
-		eng.SetRecorder(rec)
-	} else if rec := newGlobalRecorder(configName); rec != nil {
-		eng.SetRecorder(rec)
 	}
 
 	// Virtual host set.
@@ -223,17 +259,32 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		}
 	}
 
+	var planOf func() (*partitionPlan, error)
+	if par != nil && partition != nil {
+		vcfg.AssignEngines, planOf = partitionAssign(par, partition)
+	}
 	grid, err := virtual.NewGrid(eng, vcfg, wire)
 	if err != nil {
 		return nil, err
 	}
+	var plan *partitionPlan
+	if planOf != nil {
+		if plan, err = planOf(); err != nil {
+			return nil, err
+		}
+	}
 	if par != nil {
-		// Conservative lookahead: no packet crosses the virtual network
-		// faster than its cheapest link.
-		if d, ok := grid.Network().MinLinkDelay(); ok {
+		if plan != nil {
+			// Partitioned: only wide-area hops cross shards, so the
+			// window is the cheapest inter-cluster link.
+			par.SetLookahead(plan.lookahead)
+		} else if d, ok := grid.Network().MinLinkDelay(); ok {
+			// Conservative lookahead: no packet crosses the virtual
+			// network faster than its cheapest link.
 			par.SetLookahead(d)
 		}
 	}
+	attachRecorders(eng, par, plan, cfg.Trace, configName)
 
 	m := &MicroGrid{
 		Eng:         eng,
@@ -246,7 +297,9 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		gatekeepers: make(map[string]*globus.Gatekeeper),
 		driver:      driver,
 		par:         par,
+		plan:        plan,
 	}
+	m.wireGISHome()
 
 	// Globus: a gatekeeper on every virtual host, registered in the GIS.
 	for _, name := range hostNames {
@@ -271,6 +324,61 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	return m, nil
 }
 
+// wireGISHome computes the cluster structure the GIS-latency model
+// needs. On a multi-cluster grid — partitioned or not — middleware
+// updates to the GIS from another cluster bear the inter-cluster
+// latency, so a serial run and a partitioned run of the same wide-area
+// grid see identical discovery timing.
+func (m *MicroGrid) wireGISHome() {
+	nw := m.Grid.Network()
+	clusters := nw.Clusters(netsim.DefaultWANThreshold)
+	if len(clusters) < 2 {
+		return
+	}
+	m.clusterOf = make(map[string]int)
+	for ci, cl := range clusters {
+		for _, nd := range cl {
+			m.clusterOf[nd.Name] = ci
+		}
+	}
+	m.gisCluster = m.clusterOf[m.Hosts[0]]
+	m.gisEng = m.Grid.Host(m.Hosts[0]).Engine()
+	if d, ok := nw.InterClusterMinDelay(clusters); ok {
+		m.gisDelay = d
+	} else if d, ok := nw.MinLinkDelay(); ok {
+		m.gisDelay = d
+	}
+}
+
+// gisDo runs fn against the GIS directory, which lives with Hosts[0]
+// (where the submitting client runs). Same-cluster callers mutate it
+// directly; callers in another cluster reach it after the inter-cluster
+// latency — a cross-shard send when the model is partitioned, a plain
+// delay otherwise, so both execute fn at the same virtual instant.
+func (m *MicroGrid) gisDo(h *virtual.Host, fn func()) {
+	if m.clusterOf == nil || m.clusterOf[h.Name] == m.gisCluster {
+		fn()
+		return
+	}
+	h.Engine().SendTo(m.gisEng, m.gisDelay, fn)
+}
+
+// takeGatekeeper removes and returns a host's gatekeeper; putGatekeeper
+// installs one. Both are safe to call from any shard.
+func (m *MicroGrid) takeGatekeeper(name string) *globus.Gatekeeper {
+	m.gkMu.Lock()
+	defer m.gkMu.Unlock()
+	gk := m.gatekeepers[name]
+	delete(m.gatekeepers, name)
+	return gk
+}
+
+func (m *MicroGrid) putGatekeeper(name string, gk *globus.Gatekeeper) {
+	m.gkMu.Lock()
+	defer m.gkMu.Unlock()
+	m.gatekeepers[name] = gk
+}
+
 // Rate returns the grid's simulation rate.
 func (m *MicroGrid) Rate() float64 { return m.Grid.Rate() }
 
@@ -290,18 +398,19 @@ func (m *MicroGrid) ArmChaos(s *chaos.Schedule) (*chaos.Injector, error) {
 		return nil, fmt.Errorf("core: chaos already armed")
 	}
 	m.Grid.OnCrash = func(h *virtual.Host) {
-		if gk, ok := m.gatekeepers[h.Name]; ok {
-			gk.DeregisterFromGIS(m.GIS, OrgUnit)
-			delete(m.gatekeepers, h.Name)
+		if gk := m.takeGatekeeper(h.Name); gk != nil {
+			m.gisDo(h, func() { gk.DeregisterFromGIS(m.GIS, OrgUnit) })
 		}
 	}
 	m.Grid.OnReboot = func(h *virtual.Host) {
+		// The gatekeeper restarts locally (on the host's shard); only
+		// its directory record travels to the GIS.
 		gk, err := globus.StartGatekeeper(h, 0, m.Registry)
 		if err != nil {
 			return // host will stay out of the GIS; discovery skips it
 		}
-		gk.RegisterInGIS(m.GIS, OrgUnit, m.ConfigName, h.Phys.Name)
-		m.gatekeepers[h.Name] = gk
+		m.putGatekeeper(h.Name, gk)
+		m.gisDo(h, func() { gk.RegisterInGIS(m.GIS, OrgUnit, m.ConfigName, h.Phys.Name) })
 	}
 	in := chaos.NewInjector(m.Eng, m.Grid.Network(), m.Grid)
 	if err := in.Arm(s); err != nil {

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"microgrid/internal/netsim"
+	"microgrid/internal/scenario"
+	"microgrid/internal/simcore"
+)
+
+// PartitionConfig places the grid model across PDES shards, one cluster
+// of the virtual topology per shard: a cluster is a connected component
+// of sub-millisecond links (see netsim.Clusters), so only wide-area hops
+// — whose latency is the engine's lookahead — cross shards. Partitioning
+// requires direct mode (no emulation platform) and a multi-cluster
+// topology; on a single-cluster grid it is a no-op and the model stays
+// on shard 0.
+type PartitionConfig struct {
+	// Auto assigns cluster i (ordered by smallest node name) to shard
+	// i mod shards.
+	Auto bool
+	// Assign pins the cluster containing the named node to a shard,
+	// overriding the automatic round-robin. Naming two nodes of one
+	// cluster with different shards is an error.
+	Assign map[string]int
+}
+
+// partitionPlan is the resolved cluster→shard placement of one build.
+type partitionPlan struct {
+	// shardOf maps every node name to its shard index.
+	shardOf map[string]int
+	// clusters is the number of topology clusters.
+	clusters int
+	// lookahead is the minimum inter-cluster link delay — the
+	// conservative synchronization window for the partitioned run.
+	lookahead simcore.Duration
+}
+
+// planPartition resolves a PartitionConfig against a wired network.
+// A nil plan (with nil error) means the topology has a single cluster
+// and partitioning is a no-op.
+func planPartition(nw *netsim.Network, nshards int, pc *PartitionConfig) (*partitionPlan, error) {
+	clusters := nw.Clusters(netsim.DefaultWANThreshold)
+	if len(clusters) < 2 {
+		return nil, nil
+	}
+	clusterOf := make(map[string]int)
+	for ci, cl := range clusters {
+		for _, nd := range cl {
+			clusterOf[nd.Name] = ci
+		}
+	}
+	shard := make([]int, len(clusters))
+	for i := range shard {
+		shard[i] = i % nshards
+	}
+	if len(pc.Assign) > 0 {
+		names := make([]string, 0, len(pc.Assign))
+		for name := range pc.Assign {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pinned := make(map[int]string)
+		for _, name := range names {
+			s := pc.Assign[name]
+			ci, ok := clusterOf[name]
+			if !ok {
+				return nil, fmt.Errorf("core: partition names unknown node %q", name)
+			}
+			if s < 0 || s >= nshards {
+				return nil, fmt.Errorf("core: partition places %q on shard %d, have %d shards", name, s, nshards)
+			}
+			if prev, ok := pinned[ci]; ok && shard[ci] != s {
+				return nil, fmt.Errorf("core: partition splits one cluster: %q wants shard %d, %q wants shard %d",
+					name, s, prev, shard[ci])
+			}
+			shard[ci] = s
+			pinned[ci] = name
+		}
+	}
+	la, ok := nw.InterClusterMinDelay(clusters)
+	if !ok {
+		// Disconnected clusters exchange nothing; any positive window
+		// works, so fall back to the cheapest link.
+		la, _ = nw.MinLinkDelay()
+	}
+	plan := &partitionPlan{
+		shardOf:   make(map[string]int, len(clusterOf)),
+		clusters:  len(clusters),
+		lookahead: la,
+	}
+	for name, ci := range clusterOf {
+		plan.shardOf[name] = shard[ci]
+	}
+	return plan, nil
+}
+
+// engineMap renders the plan as the node→engine assignment
+// virtual.Config.AssignEngines expects.
+func (p *partitionPlan) engineMap(pe *simcore.ParallelEngine) map[string]*simcore.Engine {
+	m := make(map[string]*simcore.Engine, len(p.shardOf))
+	for name, s := range p.shardOf {
+		m[name] = pe.Shard(s)
+	}
+	return m
+}
+
+// partitionAssign prepares the virtual.Config.AssignEngines hook for a
+// build. The hook runs after the topology is wired; the returned getter
+// yields the plan it resolved (nil when partitioning was a no-op) or
+// the error it hit.
+func partitionAssign(par *simcore.ParallelEngine, pc *PartitionConfig) (func(nw *netsim.Network) map[string]*simcore.Engine, func() (*partitionPlan, error)) {
+	var plan *partitionPlan
+	var perr error
+	hook := func(nw *netsim.Network) map[string]*simcore.Engine {
+		p, err := planPartition(nw, par.NumShards(), pc)
+		if err != nil {
+			perr = err
+			return nil
+		}
+		plan = p
+		if p == nil {
+			return nil
+		}
+		return p.engineMap(par)
+	}
+	return hook, func() (*partitionPlan, error) { return plan, perr }
+}
+
+// ParsePartitionFlag parses the CLIs' -partition value: "auto" for the
+// round-robin placement, or a comma-separated "node=shard,..." pin
+// list. Empty input means no partitioning (nil config).
+func ParsePartitionFlag(v string) (*PartitionConfig, error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return nil, nil
+	}
+	if v == "auto" {
+		return &PartitionConfig{Auto: true}, nil
+	}
+	pc := &PartitionConfig{Assign: map[string]int{}}
+	for _, pair := range strings.Split(v, ",") {
+		name, shard, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("core: bad -partition entry %q (want node=shard or auto)", pair)
+		}
+		n, err := strconv.Atoi(shard)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("core: bad -partition shard in %q", pair)
+		}
+		if _, dup := pc.Assign[name]; dup {
+			return nil, fmt.Errorf("core: -partition pins %q twice", name)
+		}
+		pc.Assign[name] = n
+	}
+	return pc, nil
+}
+
+// PartitionPreview resolves a scenario's partition offline, without
+// building hosts or running anything: the scenario's topology is wired
+// into a throwaway network and planned exactly as Build would. It
+// returns the node→shard placement, the synchronization lookahead, and
+// the shard count (after any process-wide overrides). A nil map with a
+// nil error means partitioning would be a no-op for this scenario.
+func PartitionPreview(s *scenario.Scenario) (map[string]int, simcore.Duration, int, error) {
+	shards := resolveShards(s.EngineShards)
+	pc := resolvePartition(partitionConfig(s.Partition))
+	if shards < 1 || pc == nil || s.Topology == nil {
+		return nil, 0, shards, nil
+	}
+	nw, err := s.Topology.Build(simcore.NewSerialEngine(s.Seed).Engine)
+	if err != nil {
+		return nil, 0, shards, err
+	}
+	plan, err := planPartition(nw, shards, pc)
+	if err != nil || plan == nil {
+		return nil, 0, shards, err
+	}
+	return plan.shardOf, plan.lookahead, shards, nil
+}
+
+// Partitioned reports whether this instance's model is spread across
+// shards (false for serial, single-cluster, or unpartitioned builds).
+func (m *MicroGrid) Partitioned() bool { return m.plan != nil }
+
+// PartitionShards returns the node→shard placement of a partitioned
+// build (nil otherwise) and the synchronization lookahead.
+func (m *MicroGrid) PartitionShards() (map[string]int, simcore.Duration) {
+	if m.plan == nil {
+		return nil, 0
+	}
+	return m.plan.shardOf, m.plan.lookahead
+}

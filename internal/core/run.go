@@ -144,6 +144,12 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	}
 
 	if opts.SamplePeriod > 0 {
+		if m.Partitioned() {
+			// The Autopilot sampler reads every host's sensors from one
+			// process; on a partitioned grid that would race across
+			// shards. Sample serial runs (results are identical).
+			return nil, fmt.Errorf("core: Autopilot sampling is not supported on a partitioned grid")
+		}
 		if err := col.Start(opts.SamplePeriod); err != nil {
 			return nil, err
 		}
@@ -211,7 +217,7 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	for _, sensor := range col.Names() {
 		report.Traces[sensor] = col.Trace(sensor)
 	}
-	report.Net = m.Grid.Network().Stats
+	report.Net = m.Grid.Network().TotalStats()
 	report.HostUtilization = make(map[string]float64)
 	seen := map[string]bool{}
 	for _, name := range m.Hosts {

@@ -69,6 +69,37 @@ func machineSpec(m MachineConfig) *scenario.Machine {
 // paper configurations).
 func MachineSpec(m MachineConfig) *scenario.Machine { return machineSpec(m) }
 
+// partitionConfig lowers a scenario partition spec to the core config
+// (nil-safe, exact field copy — like machineConfig).
+func partitionConfig(p *scenario.PartitionSpec) *PartitionConfig {
+	if p == nil {
+		return nil
+	}
+	pc := &PartitionConfig{Auto: p.Auto}
+	if len(p.Assign) > 0 {
+		pc.Assign = make(map[string]int, len(p.Assign))
+		for name, shard := range p.Assign {
+			pc.Assign[name] = shard
+		}
+	}
+	return pc
+}
+
+// partitionSpec is the reverse conversion.
+func partitionSpec(pc *PartitionConfig) *scenario.PartitionSpec {
+	if pc == nil {
+		return nil
+	}
+	p := &scenario.PartitionSpec{Auto: pc.Auto}
+	if len(pc.Assign) > 0 {
+		p.Assign = make(map[string]int, len(pc.Assign))
+		for name, shard := range pc.Assign {
+			p.Assign[name] = shard
+		}
+	}
+	return p
+}
+
 // scenarioFromBuild lifts an imperative build description to the
 // declarative layer (the exact inverse of buildConfig), letting callers
 // that still hold a BuildConfig — RunNPBOnce and the ablation benches —
@@ -83,6 +114,7 @@ func scenarioFromBuild(cfg BuildConfig) *scenario.Scenario {
 		Stagger:         cfg.StaggerSpread,
 		FlowNetwork:     cfg.FlowNetwork,
 		EngineShards:    cfg.Shards,
+		Partition:       partitionSpec(cfg.Partition),
 		SendOverheadOps: cfg.SendOverheadOps,
 		PerByteOps:      cfg.PerByteOps,
 		Topology:        cfg.Topo,
@@ -112,6 +144,7 @@ func buildConfig(s *scenario.Scenario) BuildConfig {
 		StaggerSpread:   s.Stagger,
 		FlowNetwork:     s.FlowNetwork,
 		Shards:          s.EngineShards,
+		Partition:       partitionConfig(s.Partition),
 	}
 	if s.Emulation != nil {
 		emu := machineConfig(s.Emulation)
@@ -161,6 +194,7 @@ func BuildScenarioEnv(s *scenario.Scenario, env ScenarioEnv) (*MicroGrid, error)
 			Quantum:       s.Quantum,
 			StaggerSpread: s.Stagger,
 			Shards:        s.EngineShards,
+			Partition:     partitionConfig(s.Partition),
 		})
 	case s.Target != nil:
 		m, err = Build(buildConfig(s))

@@ -6,12 +6,16 @@ import (
 	"sort"
 	"sync"
 
+	"microgrid/internal/simcore"
 	"microgrid/internal/trace"
 )
 
 // TraceConfig enables structured tracing on built MicroGrids.
 type TraceConfig struct {
 	// Mask selects the recorded categories (trace.CatAll for everything).
+	// Partitioned builds strip CatEngine: dispatch telemetry is per-shard
+	// and partition-dependent, while every other category is
+	// byte-identical at any shard count.
 	Mask trace.Category
 	// BufSize is the ring capacity in events (trace.DefaultBufSize if 0).
 	BufSize int
@@ -19,15 +23,21 @@ type TraceConfig struct {
 
 // Global tracing: cmd/mgrid's -trace flags arm this once before the
 // campaign runs, and every MicroGrid Built afterwards gets its own
-// recorder, labeled by build order. Labels are assigned under a lock but
-// the *contents* of each recorder are produced single-threaded by its
+// recorder group — one recorder per engine the model spans, merged and
+// canonicalized at export — labeled by build order. Labels are assigned
+// under a lock but the *contents* of each recorder are produced by its
 // own engine, so exports are deterministic whenever the set of builds is
 // — which is why traced campaigns are restricted to one experiment.
 
+type traceGroup struct {
+	label string
+	recs  []*trace.Recorder
+}
+
 var (
-	traceMu   sync.Mutex
-	traceCfg  *TraceConfig
-	traceRecs []*trace.Recorder
+	traceMu     sync.Mutex
+	traceCfg    *TraceConfig
+	traceGroups []traceGroup
 )
 
 // EnableTracing arms global tracing for all subsequent Builds.
@@ -36,7 +46,7 @@ func EnableTracing(cfg TraceConfig) {
 	defer traceMu.Unlock()
 	c := cfg
 	traceCfg = &c
-	traceRecs = nil
+	traceGroups = nil
 }
 
 // TracingEnabled reports whether global tracing is armed.
@@ -51,32 +61,69 @@ func ResetTracing() {
 	traceMu.Lock()
 	defer traceMu.Unlock()
 	traceCfg = nil
-	traceRecs = nil
+	traceGroups = nil
 }
 
-// newGlobalRecorder hands out the next recorder when global tracing is
-// armed (nil otherwise). Labels carry the build ordinal so exports sort
-// into build order.
-func newGlobalRecorder(configName string) *trace.Recorder {
+// newGlobalRecorders hands out the next recorder group when global
+// tracing is armed (nil otherwise): n recorders sharing one label, which
+// carries the build ordinal so exports sort into build order.
+func newGlobalRecorders(configName string, n int, strip trace.Category) []*trace.Recorder {
 	traceMu.Lock()
 	defer traceMu.Unlock()
 	if traceCfg == nil {
 		return nil
 	}
-	r := trace.NewRecorder(traceCfg.BufSize, traceCfg.Mask)
-	r.Label = fmt.Sprintf("%02d:%s", len(traceRecs), configName)
-	traceRecs = append(traceRecs, r)
-	return r
+	label := fmt.Sprintf("%02d:%s", len(traceGroups), configName)
+	recs := make([]*trace.Recorder, n)
+	for i := range recs {
+		r := trace.NewRecorder(traceCfg.BufSize, traceCfg.Mask&^strip)
+		r.Label = label
+		recs[i] = r
+	}
+	traceGroups = append(traceGroups, traceGroup{label: label, recs: recs})
+	return recs
 }
 
-// TraceSnapshots returns every collected recorder's contents, in build
-// order.
+// attachRecorders wires tracing for one build: one recorder per engine
+// the model spans (shard 0 only, or every shard when partitioned), from
+// the explicit TraceConfig if given, else from the global switch.
+// Partitioned builds drop CatEngine — see TraceConfig.Mask.
+func attachRecorders(eng *simcore.Engine, par *simcore.ParallelEngine, plan *partitionPlan, tc *TraceConfig, configName string) {
+	engines := []*simcore.Engine{eng}
+	strip := trace.Category(0)
+	if plan != nil {
+		strip = trace.CatEngine
+		engines = engines[:0]
+		for i := 0; i < par.NumShards(); i++ {
+			engines = append(engines, par.Shard(i))
+		}
+	}
+	if tc != nil {
+		for _, e := range engines {
+			rec := trace.NewRecorder(tc.BufSize, tc.Mask&^strip)
+			rec.Label = configName
+			e.SetRecorder(rec)
+		}
+		return
+	}
+	for i, r := range newGlobalRecorders(configName, len(engines), strip) {
+		engines[i].SetRecorder(r)
+	}
+}
+
+// TraceSnapshots returns every build's trace, in build order: each
+// group's recorders are merged and canonicalized into one Run, so the
+// bytes are independent of how the model was partitioned.
 func TraceSnapshots() []trace.Run {
 	traceMu.Lock()
 	defer traceMu.Unlock()
-	runs := make([]trace.Run, 0, len(traceRecs))
-	for _, r := range traceRecs {
-		runs = append(runs, r.Snapshot())
+	runs := make([]trace.Run, 0, len(traceGroups))
+	for _, g := range traceGroups {
+		parts := make([]trace.Run, 0, len(g.recs))
+		for _, r := range g.recs {
+			parts = append(parts, r.Snapshot())
+		}
+		runs = append(runs, trace.MergeRuns(parts))
 	}
 	sort.Slice(runs, func(i, j int) bool { return runs[i].Label < runs[j].Label })
 	return runs

@@ -84,7 +84,7 @@ func (fc *FractionController) dispatchOps() float64 {
 	if fc.DispatchJitter <= 0 {
 		return daemonOverheadOps
 	}
-	j := 1 + fc.DispatchJitter*(2*fc.Host.eng.Rand().Float64()-1)
+	j := 1 + fc.DispatchJitter*(2*fc.Host.hostRand().Float64()-1)
 	return daemonOverheadOps * j
 }
 
@@ -159,7 +159,7 @@ func StartIOCompetitor(h *Host, name string) *simcore.Proc {
 	kern := h.NewTask(name + ":kflush")
 	kern.Kernel = true
 	pr := h.eng.Spawn(name, func(p *simcore.Proc) {
-		rng := h.eng.Rand()
+		rng := h.eng.DeriveRand("cpusched:io:" + h.Name + ":" + name)
 		for {
 			// Prepare the buffer in user mode (~0.3 ms of CPU).
 			user.ComputeSeconds(p, 0.0003)

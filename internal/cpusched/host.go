@@ -17,6 +17,7 @@ package cpusched
 
 import (
 	"fmt"
+	"math/rand"
 
 	"microgrid/internal/simcore"
 	"microgrid/internal/trace"
@@ -39,6 +40,9 @@ type Host struct {
 	// uniform random span in [0, max): the scheduler-tick and interrupt
 	// latency of a real kernel. Zero (the default) preempts instantly.
 	PreemptLatencyMax simcore.Duration
+	// rng is the host's own random stream, derived from its name so draws
+	// do not depend on how the model was partitioned across shards.
+	rng *rand.Rand
 
 	tasks   []*Task
 	nextID  int
@@ -75,6 +79,14 @@ func NewHost(eng *simcore.Engine, name string, speedMIPS float64, quantum simcor
 
 // Engine returns the engine the host runs on.
 func (h *Host) Engine() *simcore.Engine { return h.eng }
+
+// hostRand returns the host's per-entity random stream.
+func (h *Host) hostRand() *rand.Rand {
+	if h.rng == nil {
+		h.rng = h.eng.DeriveRand("cpusched:host:" + h.Name)
+	}
+	return h.rng
+}
 
 // SpeedMIPS reports the host's CPU speed in MIPS.
 func (h *Host) SpeedMIPS() float64 { return h.speedOps / 1e6 }
@@ -257,7 +269,7 @@ func (h *Host) wakeup(t *Task) {
 		}
 		if preempt && !cur.Kernel {
 			if h.PreemptLatencyMax > 0 {
-				d := simcore.Duration(h.eng.Rand().Int63n(int64(h.PreemptLatencyMax)))
+				d := simcore.Duration(h.hostRand().Int63n(int64(h.PreemptLatencyMax)))
 				gen := h.sliceGen
 				h.eng.After(d, func() {
 					if h.sliceGen == gen && h.current == cur {

@@ -91,7 +91,7 @@ func (mc *MultiController) dispatchOps() float64 {
 	if mc.DispatchJitter <= 0 {
 		return daemonOverheadOps
 	}
-	jf := 1 + mc.DispatchJitter*(2*mc.Host.eng.Rand().Float64()-1)
+	jf := 1 + mc.DispatchJitter*(2*mc.Host.hostRand().Float64()-1)
 	return daemonOverheadOps * jf
 }
 

@@ -21,8 +21,9 @@ type SubmitRetryPolicy struct {
 	// Backoff is the wait before the second attempt (default 250ms
 	// virtual), doubling each further attempt.
 	Backoff simcore.Duration
-	// BackoffJitter, if nonzero, adds ±jitter drawn from the engine RNG
-	// to each backoff — deterministic for a fixed seed.
+	// BackoffJitter, if nonzero, adds ±jitter drawn from a per-job random
+	// stream to each backoff — deterministic for a fixed seed and
+	// independent of how the model is partitioned across shards.
 	BackoffJitter simcore.Duration
 	// PortStride spaces the rendezvous base ports of successive attempts
 	// (default 64) so a late-dying rank from attempt k cannot collide
@@ -66,6 +67,11 @@ func (cl *Client) RunMPIJobResilient(server *gis.Server, configName, executable 
 	out := &ResilientOutcome{}
 	backoff := pol.Backoff
 	eng := cl.Proc.Proc().Engine()
+	// One jitter stream per job, derived from a stable label so retry
+	// backoffs are identical however the model is partitioned across
+	// shards. The base port disambiguates concurrent jobs for the same
+	// executable.
+	jitterRng := eng.DeriveRand(fmt.Sprintf("globus:backoff:%s:%s:%d", configName, executable, basePort))
 	var lastErr error
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
 		out.Attempts = attempt
@@ -109,7 +115,7 @@ func (cl *Client) RunMPIJobResilient(server *gis.Server, configName, executable 
 		}
 		wait := backoff
 		if pol.BackoffJitter > 0 {
-			wait += simcore.Duration(eng.Rand().Int63n(int64(2*pol.BackoffJitter))) - pol.BackoffJitter
+			wait += simcore.Duration(jitterRng.Int63n(int64(2*pol.BackoffJitter))) - pol.BackoffJitter
 			if wait < 0 {
 				wait = 0
 			}

@@ -43,8 +43,8 @@ func (n *Node) SendDatagram(dst Addr, srcPort, dstPort Port, size int, payload a
 	if frags == 0 {
 		frags = 1
 	}
-	n.net.autoID++
-	id := int64(n.net.autoID)
+	n.dgramID++
+	id := n.dgramID
 	remaining := size
 	for i := 0; i < frags; i++ {
 		p := min(maxPayload, remaining)
@@ -52,7 +52,7 @@ func (n *Node) SendDatagram(dst Addr, srcPort, dstPort Port, size int, payload a
 			p = 0
 		}
 		remaining -= p
-		pkt := n.net.newPacket()
+		pkt := n.newPacket()
 		*pkt = Packet{
 			Src: n.Addr, Dst: dst,
 			SrcPort: srcPort, DstPort: dstPort,
@@ -82,7 +82,7 @@ var _ = dgramKey{} // used below
 func (n *Node) deliverDatagram(pkt *Packet) {
 	h, ok := n.handlers[pkt.DstPort]
 	if !ok {
-		if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+		if rec := n.eng.Recorder(); rec.Enabled(trace.CatNet) {
 			rec.Event(trace.CatNet, "drop", trace.Attr{
 				Host: n.Name, Bytes: int64(pkt.Size),
 				Detail: fmt.Sprintf("no handler on port %d", pkt.DstPort)})

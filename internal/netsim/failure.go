@@ -26,7 +26,7 @@ func (l *Link) SetDown(down bool) {
 	l.ab.setDown(down)
 	l.ba.setDown(down)
 	nw := l.A.net
-	if rec := nw.eng.Recorder(); rec.Enabled(trace.CatLink) {
+	if rec := l.A.eng.Recorder(); rec.Enabled(trace.CatLink) {
 		name := "link-up"
 		if down {
 			name = "link-down"
@@ -90,7 +90,7 @@ func (l *Link) Degrade(bwFactor, delayFactor, loss float64) {
 	if loss >= 0 {
 		cfg.LossProb = loss
 	}
-	if rec := l.A.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+	if rec := l.A.eng.Recorder(); rec.Enabled(trace.CatLink) {
 		rec.Event(trace.CatLink, "link-degrade", trace.Attr{
 			Link:   l.ab.name,
 			Detail: fmt.Sprintf("bw=%.3g delay=%v loss=%.3g", cfg.BandwidthBps, cfg.Delay, cfg.LossProb),
@@ -109,7 +109,7 @@ func (l *Link) Restore() {
 	}
 	cfg := *l.orig
 	l.orig = nil
-	if rec := l.A.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+	if rec := l.A.eng.Recorder(); rec.Enabled(trace.CatLink) {
 		rec.Event(trace.CatLink, "link-restore", trace.Attr{Link: l.ab.name})
 	}
 	l.applyConfig(cfg)
@@ -133,7 +133,7 @@ func (n *Node) SetCrashed(crashed bool) {
 		return
 	}
 	n.crashed = crashed
-	if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatLink) {
+	if rec := n.eng.Recorder(); rec.Enabled(trace.CatLink) {
 		name := "node-restore"
 		if crashed {
 			name = "node-crash"
@@ -180,9 +180,9 @@ func (c *channel) setDown(down bool) {
 	if down {
 		// Everything queued or in flight is lost.
 		c.Dropped += int64(len(c.queue))
-		c.net.Stats.PacketsDropped += int64(len(c.queue))
+		c.src.stats.PacketsDropped += int64(len(c.queue))
 		for _, pkt := range c.queue {
-			c.net.freePacket(pkt)
+			c.src.freePacket(pkt)
 		}
 		c.queue = nil
 		c.queuedBytes = 0

@@ -29,7 +29,7 @@ func (n *Network) FlowMode() bool { return n.flowMode }
 // flowSend delivers a message analytically. Called from Conn.Send when
 // flow mode is on, after establishment and buffer accounting.
 func (c *Conn) flowSend(size int, payload any) error {
-	eng := c.node.net.eng
+	eng := c.node.eng
 	if c.flowDelay == 0 {
 		src := c.node
 		dst := c.node.net.NodeByAddr(c.key.remote)
@@ -61,11 +61,18 @@ func (c *Conn) flowSend(size int, payload any) error {
 	arrival := end.Add(c.flowDelay)
 	peer := c.peer
 	c.Stats.SegmentsSent += int64(segs)
-	eng.At(arrival, func() {
+	deliver := func() {
 		if peer == nil || peer.rcvQ.Closed() {
 			return
 		}
 		peer.rcvQ.TryPut(Message{Size: size, Payload: payload})
-	})
+	}
+	if peer != nil && peer.node.eng != eng {
+		// Cross-shard delivery: arrival-now ≥ flowDelay, the path's
+		// propagation, which is at least the engine lookahead.
+		eng.SendTo(peer.node.eng, arrival.Sub(eng.Now()), deliver)
+	} else {
+		eng.At(arrival, deliver)
+	}
 	return nil
 }

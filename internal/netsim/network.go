@@ -35,7 +35,11 @@ type LinkConfig struct {
 	LossProb float64
 }
 
-// Network is a simulated internetwork bound to an engine.
+// Network is a simulated internetwork. Nodes default to the network's
+// engine; a partitioned model places each node on its cluster's shard
+// engine with SetNodeEngine, after which every per-node structure
+// (transport endpoints, timers, packet pools, statistics bucket) lives on
+// that shard and inter-shard packet hops travel as cross-shard sends.
 type Network struct {
 	eng      *simcore.Engine
 	nodes    map[string]*Node
@@ -45,12 +49,47 @@ type Network struct {
 	nnodes   int32 // next compact node index (creation order, stable)
 	routed   bool
 	flowMode bool
-	// pktFree and hopFree head the packet and hop-event free lists; the
-	// packet path runs allocation-free once they are warm.
+	// Stats is the counter bucket for nodes on the default engine — the
+	// whole network in an unpartitioned run, so existing callers read it
+	// directly. engStats buckets nodes moved to other engines; TotalStats
+	// sums everything.
+	Stats    NetStats
+	engStats map[*simcore.Engine]*NetStats
+	// pool is the packet/hop free list shared by nodes on the default
+	// engine; engPools holds one per additional engine. A packet freed on
+	// another shard migrates pools — each pool is only ever touched by its
+	// own shard's goroutine.
+	pool     pktPool
+	engPools map[*simcore.Engine]*pktPool
+}
+
+// pktPool pools packets and hop events for the nodes on one engine; the
+// packet path runs allocation-free once it is warm. Capacity is bounded
+// so cross-shard migration (packets freed on a shard that never sends
+// them back) cannot grow memory without bound.
+type pktPool struct {
 	pktFree *Packet
+	npkt    int
 	hopFree *hopEvent
-	// Stats aggregates network-wide counters.
-	Stats NetStats
+	nhop    int
+}
+
+// maxPooled bounds each free list; excess packets go to the GC.
+const maxPooled = 1 << 14
+
+func (n *Network) poolFor(eng *simcore.Engine) *pktPool {
+	if eng == n.eng {
+		return &n.pool
+	}
+	if n.engPools == nil {
+		n.engPools = make(map[*simcore.Engine]*pktPool)
+	}
+	p := n.engPools[eng]
+	if p == nil {
+		p = &pktPool{}
+		n.engPools[eng] = p
+	}
+	return p
 }
 
 // NetStats aggregates counters across the network.
@@ -62,6 +101,15 @@ type NetStats struct {
 	BytesDelivered   int64
 }
 
+// add accumulates o into s.
+func (s *NetStats) add(o NetStats) {
+	s.PacketsSent += o.PacketsSent
+	s.PacketsDelivered += o.PacketsDelivered
+	s.PacketsDropped += o.PacketsDropped
+	s.PacketsLost += o.PacketsLost
+	s.BytesDelivered += o.BytesDelivered
+}
+
 // New returns an empty network on eng.
 func New(eng *simcore.Engine) *Network {
 	return &Network{
@@ -71,14 +119,56 @@ func New(eng *simcore.Engine) *Network {
 	}
 }
 
-// Engine returns the engine the network runs on.
+// Engine returns the network's default engine.
 func (n *Network) Engine() *simcore.Engine { return n.eng }
+
+// statsFor returns the counter bucket for nodes running on eng.
+func (n *Network) statsFor(eng *simcore.Engine) *NetStats {
+	if eng == n.eng {
+		return &n.Stats
+	}
+	if n.engStats == nil {
+		n.engStats = make(map[*simcore.Engine]*NetStats)
+	}
+	s := n.engStats[eng]
+	if s == nil {
+		s = &NetStats{}
+		n.engStats[eng] = s
+	}
+	return s
+}
+
+// TotalStats sums every engine's counter bucket. All fields are plain
+// sums, so the result is independent of how the network was partitioned.
+func (n *Network) TotalStats() NetStats {
+	t := n.Stats
+	for _, s := range n.engStats {
+		t.add(*s)
+	}
+	return t
+}
+
+// SetNodeEngine places nd on eng: subsequently created transport
+// endpoints, timers, packet pools and statistics live on eng's shard.
+// Call it after topology wiring and before any traffic flows; moving a
+// node with live connections is not supported.
+func (n *Network) SetNodeEngine(nd *Node, eng *simcore.Engine) {
+	nd.eng = eng
+	nd.stats = n.statsFor(eng)
+	nd.pool = n.poolFor(eng)
+}
 
 // Node is a host or router.
 type Node struct {
 	net  *Network
 	Name string
 	Addr Addr
+	// eng is the engine (shard) the node runs on — the network default
+	// unless reassigned with SetNodeEngine; stats and pool are the
+	// matching per-engine counter bucket and packet free list.
+	eng   *simcore.Engine
+	stats *NetStats
+	pool  *pktPool
 	// idx is the node's compact per-network index (creation order; stable
 	// across route recomputation), used to index routeTab slices.
 	idx        int32
@@ -90,6 +180,12 @@ type Node struct {
 	conns      map[connKey]*Conn
 	dgramFrags map[dgramKey]*dgramState
 	nextPort   Port
+	// dgramID numbers this node's datagrams (the reassembly key includes
+	// the source address, so per-node numbering is collision-free and —
+	// unlike a network-global counter — partition-independent).
+	dgramID int64
+	// genSeq numbers this node's traffic generators for stable RNG labels.
+	genSeq int64
 	// crashed makes the node drop every packet addressed to or routed
 	// through it (see SetCrashed).
 	crashed bool
@@ -97,6 +193,9 @@ type Node struct {
 	Delivered int64
 	Forwarded int64
 }
+
+// Engine returns the engine (shard) the node runs on.
+func (nd *Node) Engine() *simcore.Engine { return nd.eng }
 
 // iface is one direction of attachment: sending on it transmits over ch.
 type iface struct {
@@ -138,6 +237,9 @@ func (n *Network) addNode(name string, addr Addr, router bool) *Node {
 		net:       n,
 		Name:      name,
 		Addr:      addr,
+		eng:       n.eng,
+		stats:     &n.Stats,
+		pool:      &n.pool,
 		idx:       n.nnodes,
 		Router:    router,
 		handlers:  make(map[Port]DatagramHandler),
@@ -209,8 +311,8 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
 	l := &Link{A: a, B: b, Config: cfg}
-	l.ab = newChannel(n, fmt.Sprintf("%s->%s", a.Name, b.Name), b, cfg)
-	l.ba = newChannel(n, fmt.Sprintf("%s->%s", b.Name, a.Name), a, cfg)
+	l.ab = newChannel(n, fmt.Sprintf("%s->%s", a.Name, b.Name), a, b, cfg)
+	l.ba = newChannel(n, fmt.Sprintf("%s->%s", b.Name, a.Name), b, a, cfg)
 	a.ifaces = append(a.ifaces, &iface{node: a, ch: l.ab})
 	b.ifaces = append(b.ifaces, &iface{node: b, ch: l.ba})
 	n.links = append(n.links, l)
@@ -350,7 +452,7 @@ type DirectionStats struct {
 func (l *Link) Stats() [2]DirectionStats {
 	mk := func(c *channel, from, to string) DirectionStats {
 		util := 0.0
-		if now := c.net.eng.Now(); now > 0 {
+		if now := c.src.eng.Now(); now > 0 {
 			util = float64(c.busyTime) / float64(now)
 		}
 		return DirectionStats{

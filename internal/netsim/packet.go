@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"microgrid/internal/simcore"
 	"microgrid/internal/trace"
@@ -38,9 +39,10 @@ func (k packetKind) String() string {
 }
 
 // Packet is the unit of transmission. Size includes header overhead.
-// Packets are pooled per network: transports allocate with
-// Network.newPacket and every terminal point of a packet's life (delivery,
-// drop, loss) returns it with Network.freePacket.
+// Packets are pooled per node: transports allocate with Node.newPacket
+// and every terminal point of a packet's life (delivery, drop, loss)
+// returns it with Node.freePacket on whichever node it ended at — a
+// packet crossing shards migrates pools with the hand-off.
 type Packet struct {
 	Src, Dst         Addr
 	SrcPort, DstPort Port
@@ -62,22 +64,29 @@ type Packet struct {
 	free *Packet
 }
 
-// newPacket returns a zeroed packet, reusing the free list when possible.
-func (n *Network) newPacket() *Packet {
-	p := n.pktFree
+// newPacket returns a zeroed packet, reusing the engine-local free list
+// when possible.
+func (n *Node) newPacket() *Packet {
+	p := n.pool.pktFree
 	if p == nil {
 		return &Packet{}
 	}
-	n.pktFree = p.free
+	n.pool.pktFree = p.free
+	n.pool.npkt--
 	p.free = nil
 	return p
 }
 
 // freePacket resets every field — ttl included; a stale ttl would silently
-// shorten routes on reuse — and returns p to the free list.
-func (n *Network) freePacket(p *Packet) {
-	*p = Packet{free: n.pktFree}
-	n.pktFree = p
+// shorten routes on reuse — and returns p to the engine-local free list
+// (or the GC when the pool is at capacity).
+func (n *Node) freePacket(p *Packet) {
+	if n.pool.npkt >= maxPooled {
+		return
+	}
+	*p = Packet{free: n.pool.pktFree}
+	n.pool.pktFree = p
+	n.pool.npkt++
 }
 
 func (p *Packet) String() string {
@@ -88,12 +97,14 @@ func (p *Packet) String() string {
 const defaultTTL = 64
 
 // channel is one direction of a link: a drop-tail queue feeding a
-// serializer, then fixed propagation delay to dst.
+// serializer, then fixed propagation delay to dst. The channel runs on
+// the source node's engine; when the destination lives on another shard
+// the propagation leg crosses as a cross-shard send.
 type channel struct {
-	net  *Network
-	name string
-	dst  *Node
-	cfg  LinkConfig
+	net      *Network
+	name     string
+	src, dst *Node
+	cfg      LinkConfig
 	// queue holds packets awaiting serialization; queuedBytes tracks the
 	// drop-tail occupancy.
 	queue       []*Packet
@@ -103,6 +114,9 @@ type channel struct {
 	// transmissions when the link fails.
 	down  bool
 	epoch int64
+	// lossRng draws random loss from a per-channel stream derived from the
+	// channel's stable name, so loss patterns are partition-independent.
+	lossRng *rand.Rand
 	// Stats
 	Sent, Dropped, Lost int64
 	BytesSent           int64
@@ -110,8 +124,8 @@ type channel struct {
 	busyTime simcore.Duration
 }
 
-func newChannel(net *Network, name string, dst *Node, cfg LinkConfig) *channel {
-	return &channel{net: net, name: name, dst: dst, cfg: cfg}
+func newChannel(net *Network, name string, src, dst *Node, cfg LinkConfig) *channel {
+	return &channel{net: net, name: name, src: src, dst: dst, cfg: cfg}
 }
 
 // send enqueues pkt for transmission, applying drop-tail and random loss.
@@ -120,28 +134,33 @@ func newChannel(net *Network, name string, dst *Node, cfg LinkConfig) *channel {
 func (c *channel) send(pkt *Packet) {
 	if c.down {
 		c.Dropped++
-		c.net.Stats.PacketsDropped++
-		c.net.freePacket(pkt)
+		c.src.stats.PacketsDropped++
+		c.src.freePacket(pkt)
 		return
 	}
-	if c.cfg.LossProb > 0 && c.net.eng.Rand().Float64() < c.cfg.LossProb {
-		c.Lost++
-		c.net.Stats.PacketsLost++
-		if rec := c.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
-			rec.Event(trace.CatNet, "loss", trace.Attr{
-				Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String()})
+	if c.cfg.LossProb > 0 {
+		if c.lossRng == nil {
+			c.lossRng = c.src.eng.DeriveRand("netsim:loss:" + c.name)
 		}
-		c.net.freePacket(pkt)
-		return
+		if c.lossRng.Float64() < c.cfg.LossProb {
+			c.Lost++
+			c.src.stats.PacketsLost++
+			if rec := c.src.eng.Recorder(); rec.Enabled(trace.CatNet) {
+				rec.Event(trace.CatNet, "loss", trace.Attr{
+					Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String()})
+			}
+			c.src.freePacket(pkt)
+			return
+		}
 	}
 	if c.queuedBytes+pkt.Size > c.cfg.QueueBytes {
 		c.Dropped++
-		c.net.Stats.PacketsDropped++
-		if rec := c.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+		c.src.stats.PacketsDropped++
+		if rec := c.src.eng.Recorder(); rec.Enabled(trace.CatNet) {
 			rec.Event(trace.CatNet, "drop", trace.Attr{
 				Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " queue full"})
 		}
-		c.net.freePacket(pkt)
+		c.src.freePacket(pkt)
 		return
 	}
 	c.queue = append(c.queue, pkt)
@@ -166,50 +185,71 @@ type hopEvent struct {
 	free    *hopEvent
 }
 
-// newHop takes a hop event from the network's free list, bound to c's
+// newHop takes a hop event from the engine-local free list, bound to c's
 // current epoch.
-func (n *Network) newHop(c *channel, pkt *Packet, txTime simcore.Duration) *hopEvent {
-	h := n.hopFree
+func (n *Node) newHop(c *channel, pkt *Packet, txTime simcore.Duration) *hopEvent {
+	h := n.pool.hopFree
 	if h == nil {
 		h = &hopEvent{}
 		h.run = h.fire
 	} else {
-		n.hopFree = h.free
+		n.pool.hopFree = h.free
+		n.pool.nhop--
 		h.free = nil
 	}
 	h.ch, h.pkt, h.epoch, h.txTime, h.arrived = c, pkt, c.epoch, txTime, false
 	return h
 }
 
-func (n *Network) freeHop(h *hopEvent) {
+func (n *Node) freeHop(h *hopEvent) {
+	if n.pool.nhop >= maxPooled {
+		h.ch, h.pkt = nil, nil
+		return
+	}
 	h.ch, h.pkt = nil, nil
-	h.free = n.hopFree
-	n.hopFree = h
+	h.free = n.pool.hopFree
+	n.pool.hopFree = h
+	n.pool.nhop++
 }
 
 // fire advances the hop one leg. Serialization completes at now+txTime;
 // the packet then propagates. A link failure mid-flight (epoch bump)
-// loses the packet.
+// loses the packet. When the destination lives on another shard the
+// propagation leg is a cross-shard send — legal because an inter-shard
+// link's delay is at least the engine lookahead — and the packet migrates
+// to the destination's pool; the epoch re-check on arrival is safe
+// because link state only changes at global barriers.
 func (h *hopEvent) fire() {
 	c := h.ch
-	nw := c.net
 	if !h.arrived {
 		if c.epoch != h.epoch {
-			nw.freePacket(h.pkt)
-			nw.freeHop(h)
+			c.src.freePacket(h.pkt)
+			c.src.freeHop(h)
 			return
 		}
 		c.Sent++
 		c.BytesSent += int64(h.pkt.Size)
 		c.busyTime += h.txTime
-		nw.Stats.PacketsSent++
-		if rec := nw.eng.Recorder(); rec.Enabled(trace.CatNet) {
+		c.src.stats.PacketsSent++
+		if rec := c.src.eng.Recorder(); rec.Enabled(trace.CatNet) {
 			// Serialization occupies [now-txTime, now]; propagation follows.
-			rec.Span(trace.CatNet, "hop", int64(nw.eng.Now())-int64(h.txTime), int64(h.txTime),
+			rec.Span(trace.CatNet, "hop", int64(c.src.eng.Now())-int64(h.txTime), int64(h.txTime),
 				trace.Attr{Link: c.name, Bytes: int64(h.pkt.Size), Detail: h.pkt.Kind.String()})
 		}
-		h.arrived = true
-		nw.eng.After(c.cfg.Delay, h.run)
+		if c.dst.eng != c.src.eng {
+			pkt, epoch := h.pkt, h.epoch
+			c.src.freeHop(h)
+			c.src.eng.SendTo(c.dst.eng, c.cfg.Delay, func() {
+				if c.epoch != epoch {
+					c.dst.freePacket(pkt)
+					return
+				}
+				c.dst.receive(pkt)
+			})
+		} else {
+			h.arrived = true
+			c.src.eng.After(c.cfg.Delay, h.run)
+		}
 		if len(c.queue) > 0 {
 			c.startNext()
 		} else {
@@ -218,9 +258,9 @@ func (h *hopEvent) fire() {
 		return
 	}
 	pkt, ok := h.pkt, c.epoch == h.epoch
-	nw.freeHop(h)
+	c.src.freeHop(h)
 	if !ok {
-		nw.freePacket(pkt)
+		c.src.freePacket(pkt)
 		return
 	}
 	c.dst.receive(pkt)
@@ -233,7 +273,7 @@ func (c *channel) startNext() {
 	c.queuedBytes -= pkt.Size
 	c.busy = true
 	txTime := simcore.DurationOfSeconds(float64(pkt.Size) * 8 / c.cfg.BandwidthBps)
-	c.net.eng.After(txTime, c.net.newHop(c, pkt, txTime).run)
+	c.src.eng.After(txTime, c.src.newHop(c, pkt, txTime).run)
 }
 
 // sendPacket routes pkt out of node n toward its destination, resolving
@@ -242,7 +282,7 @@ func (c *channel) startNext() {
 // touch it afterwards.
 func (n *Node) sendPacket(pkt *Packet) error {
 	if n.crashed {
-		n.net.freePacket(pkt)
+		n.freePacket(pkt)
 		return fmt.Errorf("netsim: node %s is crashed", n.Name)
 	}
 	if pkt.ttl == 0 {
@@ -250,7 +290,7 @@ func (n *Node) sendPacket(pkt *Packet) error {
 	}
 	if pkt.Dst == n.Addr {
 		// Loopback: deliver at the current instant through the event queue.
-		n.net.eng.After(0, func() { n.receive(pkt) })
+		n.eng.After(0, func() { n.receive(pkt) })
 		return nil
 	}
 	if !n.net.routed {
@@ -258,13 +298,13 @@ func (n *Node) sendPacket(pkt *Packet) error {
 	}
 	dn := n.net.byAddr[pkt.Dst]
 	if dn == nil {
-		n.net.freePacket(pkt)
+		n.freePacket(pkt)
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
 	}
 	pkt.dstIdx = dn.idx
 	ifc := n.routeTab[dn.idx]
 	if ifc == nil {
-		n.net.freePacket(pkt)
+		n.freePacket(pkt)
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
 	}
 	ifc.ch.send(pkt)
@@ -274,29 +314,29 @@ func (n *Node) sendPacket(pkt *Packet) error {
 // receive handles a packet arriving at node n: local delivery or forward.
 func (n *Node) receive(pkt *Packet) {
 	if n.crashed {
-		n.net.Stats.PacketsDropped++
-		n.net.freePacket(pkt)
+		n.stats.PacketsDropped++
+		n.freePacket(pkt)
 		return
 	}
 	if pkt.Dst != n.Addr {
 		pkt.ttl--
 		if pkt.ttl <= 0 {
-			n.net.Stats.PacketsDropped++
-			if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			n.stats.PacketsDropped++
+			if rec := n.eng.Recorder(); rec.Enabled(trace.CatNet) {
 				rec.Event(trace.CatNet, "drop", trace.Attr{
 					Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " ttl expired"})
 			}
-			n.net.freePacket(pkt)
+			n.freePacket(pkt)
 			return
 		}
 		ifc := n.routeTab[pkt.dstIdx]
 		if ifc == nil {
-			n.net.Stats.PacketsDropped++
-			if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+			n.stats.PacketsDropped++
+			if rec := n.eng.Recorder(); rec.Enabled(trace.CatNet) {
 				rec.Event(trace.CatNet, "drop", trace.Attr{
 					Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " no route"})
 			}
-			n.net.freePacket(pkt)
+			n.freePacket(pkt)
 			return
 		}
 		n.Forwarded++
@@ -304,10 +344,10 @@ func (n *Node) receive(pkt *Packet) {
 		return
 	}
 	n.Delivered++
-	n.net.Stats.PacketsDelivered++
-	n.net.Stats.BytesDelivered += int64(pkt.Size)
+	n.stats.PacketsDelivered++
+	n.stats.BytesDelivered += int64(pkt.Size)
 	n.demux(pkt)
-	n.net.freePacket(pkt)
+	n.freePacket(pkt)
 }
 
 // demux dispatches a locally delivered packet to its transport endpoint.

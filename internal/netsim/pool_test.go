@@ -41,7 +41,7 @@ func TestPacketPoolReset(t *testing.T) {
 		t.Fatalf("delivery: got %d datagrams / %d bytes, want 1 / 3000", *got, *bytes)
 	}
 	count := 0
-	for p := nw.pktFree; p != nil; p = p.free {
+	for p := nw.pool.pktFree; p != nil; p = p.free {
 		count++
 		clean := *p
 		clean.free = nil
@@ -81,10 +81,10 @@ func TestPacketPoolReuse(t *testing.T) {
 	if nw.Stats.PacketsDropped != 0 || nw.Stats.PacketsLost != 0 {
 		t.Fatalf("unexpected drops/losses: %+v", nw.Stats)
 	}
-	// The pool must actually have cycled: far fewer distinct packets than
+	// The pools must actually have cycled: far fewer distinct packets than
 	// hops flowed.
 	pooled := 0
-	for p := nw.pktFree; p != nil; p = p.free {
+	for p := nw.pool.pktFree; p != nil; p = p.free {
 		pooled++
 	}
 	if pooled >= sends {

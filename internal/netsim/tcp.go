@@ -54,7 +54,7 @@ func (n *Node) Listen(port Port) (*Listener, error) {
 	if _, dup := n.listeners[port]; dup {
 		return nil, fmt.Errorf("netsim: %s port %d already listening", n.Name, port)
 	}
-	l := &Listener{node: n, port: port, backlog: simcore.NewQueue(n.net.eng, 0)}
+	l := &Listener{node: n, port: port, backlog: simcore.NewQueue(n.eng, 0)}
 	n.listeners[port] = l
 	return l, nil
 }
@@ -163,15 +163,15 @@ func newConn(n *Node, key connKey) *Conn {
 		node:      n,
 		key:       key,
 		mss:       DefaultMTU - HeaderBytes,
-		estCond:   simcore.NewCond(n.net.eng),
+		estCond:   simcore.NewCond(n.eng),
 		cwnd:      0, // set at establish from mss
 		ssthresh:  float64(DefaultRecvWindow),
 		rwnd:      DefaultRecvWindow,
 		sndBufCap: DefaultSendBuffer,
-		sndSpace:  simcore.NewCond(n.net.eng),
+		sndSpace:  simcore.NewCond(n.eng),
 		rto:       initialRTO,
 		srtt:      -1,
-		rcvQ:      simcore.NewQueue(n.net.eng, 0),
+		rcvQ:      simcore.NewQueue(n.eng, 0),
 	}
 	n.conns[key] = c
 	return c
@@ -229,7 +229,7 @@ func (n *Node) Dial(p *simcore.Proc, dst Addr, dstPort Port) (*Conn, error) {
 
 func (c *Conn) sendSYN() {
 	c.synTries++
-	pkt := c.node.net.newPacket()
+	pkt := c.node.newPacket()
 	*pkt = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
@@ -241,7 +241,7 @@ func (c *Conn) sendSYN() {
 		c.estCond.Broadcast()
 		return
 	}
-	eng := c.node.net.eng
+	eng := c.node.eng
 	eng.After(synRetryInterval, func() {
 		if c.established || c.closed {
 			return
@@ -264,7 +264,7 @@ func (n *Node) deliverTCP(pkt *Packet) {
 	key := connKey{local: pkt.DstPort, remote: pkt.Src, remotePort: pkt.SrcPort}
 	c, ok := n.conns[key]
 	if !ok {
-		if rec := n.net.eng.Recorder(); rec.Enabled(trace.CatNet) {
+		if rec := n.eng.Recorder(); rec.Enabled(trace.CatNet) {
 			rec.Event(trace.CatNet, "drop", trace.Attr{
 				Host: n.Name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String() + " no conn"})
 		}
@@ -303,7 +303,7 @@ func (n *Node) onSYN(pkt *Packet) {
 		c.listener = l
 	}
 	// (Re)send SYN-ACK; duplicate SYNs (retries) are answered idempotently.
-	synack := n.net.newPacket()
+	synack := n.newPacket()
 	*synack = Packet{
 		Src: n.Addr, Dst: pkt.Src,
 		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
@@ -320,7 +320,7 @@ func (c *Conn) onSYNACK(pkt *Packet) {
 	c.cwnd = 2 * float64(c.mss)
 	c.estCond.Broadcast()
 	// Final handshake ACK; its arrival establishes the server side.
-	ack := c.node.net.newPacket()
+	ack := c.node.newPacket()
 	*ack = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
@@ -365,9 +365,65 @@ func (c *Conn) Send(p *simcore.Proc, size int, payload any) error {
 		wire = 1
 	}
 	c.sndEnd += int64(wire)
-	c.peer.inMsgs = append(c.peer.inMsgs, &inMsg{end: c.sndEnd, size: size, payload: payload})
+	c.deliverFrame(&inMsg{end: c.sndEnd, size: size, payload: payload})
 	c.trySend()
 	return nil
+}
+
+// deliverFrame hands a message boundary to the receiving endpoint. A
+// same-engine peer gets it immediately, as before. A peer on another
+// shard gets it via a cross-shard send after the path's propagation
+// delay: that is never below the engine lookahead (every cross-shard
+// path crosses an inter-cluster link) and never behind the message's
+// data, which additionally pays serialization on every hop.
+func (c *Conn) deliverFrame(m *inMsg) {
+	peer := c.peer
+	if peer.node.eng == c.node.eng {
+		peer.insertFrame(m)
+		return
+	}
+	c.node.eng.SendTo(peer.node.eng, c.framePathDelay(), func() { peer.insertFrame(m) })
+}
+
+// framePathDelay returns the current propagation delay to the peer,
+// falling back to the engine lookahead when the path is down (the frame
+// must still arrive so delivery resumes once data gets through).
+func (c *Conn) framePathDelay() simcore.Duration {
+	if dst := c.node.net.NodeByAddr(c.key.remote); dst != nil {
+		if d, _, ok := c.node.net.PathDelay(c.node, dst); ok {
+			return d
+		}
+	}
+	if pe := c.node.eng.Parallel(); pe != nil {
+		return pe.Lookahead()
+	}
+	return simcore.Millisecond
+}
+
+// insertFrame files m in stream order (frames can arrive out of order
+// across shards if the path delay changed mid-stream) and delivers any
+// messages whose bytes have already been acknowledged — possible when a
+// route change lets data overtake an earlier frame.
+func (c *Conn) insertFrame(m *inMsg) {
+	i := len(c.inMsgs)
+	for i > 0 && c.inMsgs[i-1].end > m.end {
+		i--
+	}
+	c.inMsgs = append(c.inMsgs, nil)
+	copy(c.inMsgs[i+1:], c.inMsgs[i:])
+	c.inMsgs[i] = m
+	c.drainMsgs()
+}
+
+// drainMsgs delivers every leading message whose last byte has arrived.
+func (c *Conn) drainMsgs() {
+	for len(c.inMsgs) > 0 && c.inMsgs[0].end <= c.rcvNxt {
+		m := c.inMsgs[0]
+		c.inMsgs = c.inMsgs[1:]
+		if !c.rcvQ.Closed() {
+			c.rcvQ.TryPut(Message{Size: m.size, Payload: m.payload})
+		}
+	}
 }
 
 // Recv blocks until the next complete message arrives, returning its size
@@ -416,7 +472,7 @@ func (c *Conn) maybeFIN() {
 	if !c.sendClosed || c.finSent || !c.established {
 		return
 	}
-	fin := c.node.net.newPacket()
+	fin := c.node.newPacket()
 	*fin = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
@@ -425,7 +481,7 @@ func (c *Conn) maybeFIN() {
 	if c.node.net.flowMode {
 		// Emit the FIN only after the last analytic delivery has landed.
 		c.finSent = true
-		eng := c.node.net.eng
+		eng := c.node.eng
 		at := eng.Now()
 		if t := c.flowBusyUntil.Add(c.flowDelay); t > at {
 			at = t
@@ -506,14 +562,14 @@ type segTS struct {
 }
 
 func (c *Conn) sendSegment(seq int64, length int, retransmit bool) {
-	pkt := c.node.net.newPacket()
+	pkt := c.node.newPacket()
 	*pkt = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind:    kindData,
 		Size:    length + HeaderBytes,
 		Seq:     seq,
-		Payload: &segTS{sent: c.node.net.eng.Now()},
+		Payload: &segTS{sent: c.node.eng.Now()},
 	}
 	c.Stats.SegmentsSent++
 	if retransmit {
@@ -526,7 +582,7 @@ func (c *Conn) sendSegment(seq int64, length int, retransmit bool) {
 func (c *Conn) armRTO() {
 	c.rtoGen++
 	gen := c.rtoGen
-	eng := c.node.net.eng
+	eng := c.node.eng
 	eng.After(c.rto, func() {
 		if gen != c.rtoGen || c.sndUna >= c.sndNxt || c.closed {
 			return
@@ -578,7 +634,7 @@ func (c *Conn) onACK(pkt *Packet) {
 	c.Stats.AcksReceived++
 	// RTT sample from the echoed timestamp.
 	if ts, ok := pkt.Payload.(*segTS); ok && ts != nil {
-		sample := c.node.net.eng.Now().Sub(ts.sent).Seconds()
+		sample := c.node.eng.Now().Sub(ts.sent).Seconds()
 		if c.srtt < 0 {
 			c.srtt = sample
 			c.rttvar = sample / 2
@@ -671,15 +727,9 @@ func (c *Conn) onData(pkt *Packet) {
 		c.rcvNxt = c.received.contiguousFrom(0)
 	}
 	// Deliver any now-complete messages.
-	for len(c.inMsgs) > 0 && c.inMsgs[0].end <= c.rcvNxt {
-		m := c.inMsgs[0]
-		c.inMsgs = c.inMsgs[1:]
-		if !c.rcvQ.Closed() {
-			c.rcvQ.TryPut(Message{Size: m.size, Payload: m.payload})
-		}
-	}
+	c.drainMsgs()
 	// Cumulative ACK, echoing the freshest timestamp.
-	ack := c.node.net.newPacket()
+	ack := c.node.newPacket()
 	*ack = Packet{
 		Src: c.node.Addr, Dst: c.key.remote,
 		SrcPort: c.key.local, DstPort: c.key.remotePort,

@@ -43,7 +43,10 @@ func StartPoisson(src, dst *Node, port Port, meanRateBps float64, pktBytes int) 
 		return nil, fmt.Errorf("netsim: Poisson needs positive rate and packet size")
 	}
 	mean := float64(pktBytes) * 8 / meanRateBps
-	rng := src.net.eng.Rand()
+	// Per-generator stream derived from a stable label, so draws are
+	// partition-independent and generators never share a stream.
+	src.genSeq++
+	rng := src.eng.DeriveRand(fmt.Sprintf("netsim:poisson:%s->%s:%d:%d", src.Name, dst.Name, port, src.genSeq))
 	return startGen("poisson", src, dst, port, pktBytes, func() simcore.Duration {
 		return simcore.DurationOfSeconds(rng.ExpFloat64() * mean)
 	})
@@ -55,7 +58,7 @@ func startGen(kind string, src, dst *Node, port Port, pktBytes int, next func() 
 		return nil, fmt.Errorf("netsim: traffic endpoints on different networks")
 	}
 	g := &TrafficGen{}
-	g.proc = src.net.eng.Spawn(fmt.Sprintf("%s:%s->%s", kind, src.Name, dst.Name), func(p *simcore.Proc) {
+	g.proc = src.eng.Spawn(fmt.Sprintf("%s:%s->%s", kind, src.Name, dst.Name), func(p *simcore.Proc) {
 		for !g.stopped {
 			p.Sleep(next())
 			if g.stopped {

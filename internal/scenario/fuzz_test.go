@@ -22,6 +22,8 @@ func FuzzParse(f *testing.F) {
 	f.Add("scenario c\nseed -9223372036854775808\ntarget procs=1 cpu=5e-324\nchaos\nschedule s\nat 1ns degrade a b loss=1\nend\n")
 	f.Add("scenario p\nseed 2\ntarget procs=4 cpu=533\nengine parallel shards=4\n")
 	f.Add("scenario s\ntarget procs=1 cpu=1\nengine serial\n")
+	f.Add("scenario pa\ntarget procs=4 cpu=533\nengine parallel shards=2\npartition auto\n")
+	f.Add("scenario pm\ntarget procs=4 cpu=533\nengine parallel shards=2\npartition map ucsd-gw=0 sdsc-gw=1\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		s1, err := ParseString(text)
 		if err != nil {

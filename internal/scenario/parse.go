@@ -212,6 +212,39 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 			default:
 				return nil, fail(fields[1], "unknown engine %q (want serial or parallel)", fields[1])
 			}
+		case "partition":
+			if len(fields) < 2 {
+				return nil, fail(fields[0], "want 'partition auto' or 'partition map <node>=<shard> ...'")
+			}
+			switch fields[1] {
+			case "auto":
+				if len(fields) != 2 {
+					return nil, fail(fields[2], "partition auto takes no options")
+				}
+				s.Partition = &PartitionSpec{Auto: true}
+			case "map":
+				if len(fields) < 3 {
+					return nil, fail(fields[1], "want 'partition map <node>=<shard> ...'")
+				}
+				assign := make(map[string]int, len(fields)-2)
+				for _, opt := range fields[2:] {
+					k, v, ok := strings.Cut(opt, "=")
+					if !ok || k == "" {
+						return nil, fail(opt, "bad pin (want node=shard)")
+					}
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fail(opt, "bad shard: %v", err)
+					}
+					if _, dup := assign[k]; dup {
+						return nil, fail(opt, "node %s pinned twice", k)
+					}
+					assign[k] = n
+				}
+				s.Partition = &PartitionSpec{Assign: assign}
+			default:
+				return nil, fail(fields[1], "unknown partition mode %q (want auto or map)", fields[1])
+			}
 		case "msgcost":
 			if len(fields) < 2 {
 				return nil, fail(fields[0], "want 'msgcost [send=<ops>] [perbyte=<ops>]'")

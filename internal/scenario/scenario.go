@@ -104,6 +104,19 @@ type RetrySpec struct {
 	PortStride    int
 }
 
+// PartitionSpec places the topology's clusters on PDES shards (it
+// mirrors core.PartitionConfig): `partition auto` round-robins clusters
+// over the engine's shards, `partition map node=shard ...` pins the
+// cluster containing each named node. On a serial engine or a
+// single-cluster topology the spec is inert, so scenarios can carry it
+// and still run anywhere.
+type PartitionSpec struct {
+	// Auto selects the automatic round-robin placement.
+	Auto bool
+	// Assign pins named nodes' clusters to shards (exclusive with Auto).
+	Assign map[string]int
+}
+
 // TraceSpec arms structured tracing on the run's engine.
 type TraceSpec struct {
 	// Mask selects categories (0 = all).
@@ -142,6 +155,9 @@ type Scenario struct {
 	// engine, n ≥ 1 the conservative parallel engine with n shards
 	// (`engine parallel shards=n`).
 	EngineShards int
+	// Partition, when non-nil, places topology clusters on their own
+	// shards (`partition auto` or `partition map node=shard ...`).
+	Partition *PartitionSpec
 	// SendOverheadOps / PerByteOps tune the per-message CPU model.
 	SendOverheadOps, PerByteOps float64
 	// Topology, when non-nil, replaces the switched LAN; HostRanks then
@@ -217,6 +233,17 @@ func (s *Scenario) Validate() error {
 	}
 	if s.EngineShards < 0 || s.EngineShards > 4096 {
 		return fmt.Errorf("engine shards must be in 0..4096")
+	}
+	if s.Partition != nil {
+		if err := s.Partition.validate(); err != nil {
+			return err
+		}
+		if s.Emulation != nil {
+			return fmt.Errorf("partition and emulate conflict: partitioning requires direct mode")
+		}
+		if s.GIS != nil && s.GIS.PhysMIPS != nil {
+			return fmt.Errorf("partition and gis phys= conflict: partitioning requires direct mode")
+		}
 	}
 	if !finite(s.SendOverheadOps) || s.SendOverheadOps < 0 ||
 		!finite(s.PerByteOps) || s.PerByteOps < 0 {
@@ -365,6 +392,32 @@ func (w *Workload) validate() error {
 		return fmt.Errorf("credential must not contain quotes or newlines")
 	}
 	return nil
+}
+
+func (p *PartitionSpec) validate() error {
+	if p.Auto == (len(p.Assign) > 0) {
+		return fmt.Errorf("partition needs exactly one of auto and a map")
+	}
+	for name, shard := range p.Assign {
+		if !bareToken(name) || strings.ContainsAny(name, "=,") {
+			return fmt.Errorf("bad partition node name %q", name)
+		}
+		if shard < 0 || shard > 4095 {
+			return fmt.Errorf("partition shard for %s must be in 0..4095", name)
+		}
+	}
+	return nil
+}
+
+// assignNames returns the pinned node names, sorted — the canonical
+// serialization order.
+func (p *PartitionSpec) assignNames() []string {
+	names := make([]string, 0, len(p.Assign))
+	for n := range p.Assign {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (r *RetrySpec) validate() error {

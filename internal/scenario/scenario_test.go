@@ -204,3 +204,44 @@ func TestLoadResolvesErrorsToFile(t *testing.T) {
 		t.Fatalf("want error naming %s:2, got %v", path, err)
 	}
 }
+
+// TestPartitionDirective covers the partition grammar: both forms parse,
+// round-trip canonically, and the validator rejects nonsense.
+func TestPartitionDirective(t *testing.T) {
+	s, err := ParseString("scenario p\ntarget procs=2 cpu=500\nengine parallel shards=2\npartition auto\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Partition == nil || !s.Partition.Auto || len(s.Partition.Assign) != 0 {
+		t.Fatalf("partition auto parsed as %+v", s.Partition)
+	}
+	s, err = ParseString("scenario p\ntarget procs=2 cpu=500\npartition map uiuc0=1 ucsd0=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Partition.Assign["ucsd0"] != 0 || s.Partition.Assign["uiuc0"] != 1 {
+		t.Fatalf("partition map parsed as %+v", s.Partition)
+	}
+	// Canonical serialization sorts the pins.
+	if want := "partition map ucsd0=0 uiuc0=1\n"; !strings.Contains(s.String(), want) {
+		t.Fatalf("serialization missing %q:\n%s", want, s.String())
+	}
+	for _, bad := range []string{
+		"partition\n",
+		"partition auto extra\n",
+		"partition map\n",
+		"partition map a\n",
+		"partition map a=x\n",
+		"partition map a=-1\n",
+		"partition map a=1 a=2\n",
+		"partition bogus\n",
+	} {
+		if _, err := ParseString("scenario p\ntarget procs=2 cpu=500\n" + bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// Partitioning requires direct mode.
+	if _, err := ParseString("scenario p\ntarget procs=2 cpu=500\nemulate procs=1 cpu=300\npartition auto\n"); err == nil {
+		t.Error("accepted partition with an emulation platform")
+	}
+}

@@ -52,6 +52,17 @@ func (s *Scenario) String() string {
 		// the parallel form always carries shards= in this position.
 		fmt.Fprintf(&b, "engine parallel shards=%d\n", s.EngineShards)
 	}
+	if s.Partition != nil {
+		if s.Partition.Auto {
+			b.WriteString("partition auto\n")
+		} else {
+			b.WriteString("partition map")
+			for _, name := range s.Partition.assignNames() {
+				fmt.Fprintf(&b, " %s=%d", name, s.Partition.Assign[name])
+			}
+			b.WriteString("\n")
+		}
+	}
 	if s.SendOverheadOps != 0 || s.PerByteOps != 0 {
 		b.WriteString("msgcost")
 		if s.SendOverheadOps != 0 {

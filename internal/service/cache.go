@@ -29,6 +29,17 @@ type Artifacts struct {
 // never serve stale results across versions; any of them matching means
 // the simulation is a pure replay and the cached bytes are the answer.
 func CacheKey(s *scenario.Scenario, quick bool, version string) string {
+	// A partitioned scenario's artifacts are byte-identical at any
+	// parallel shard count — the partition layer's determinism contract,
+	// pinned by the shard-matrix tests — so the key canonicalizes the
+	// count and submissions differing only in shards share one entry.
+	// Serial runs keep CatEngine dispatch telemetry in their traces and
+	// stay distinct from partitioned ones.
+	if s.Partition != nil && s.EngineShards > 1 {
+		c := *s
+		c.EngineShards = 1
+		s = &c
+	}
 	h := sha256.New()
 	io.WriteString(h, s.String())
 	fmt.Fprintf(h, "\x00quick=%t\x00version=%s", quick, version)

@@ -16,6 +16,7 @@ type serviceMetrics struct {
 	cacheReq  *metrics.CounterVec // label: result (hit|miss|coalesced)
 	rejected  *metrics.CounterVec // label: client
 	depth     *metrics.GaugeVec   // label: client
+	runShards *metrics.CounterVec // label: shards (engine shard count; 0 = serial)
 	workers   metrics.Gauge
 	busy      metrics.Gauge
 	busySecs  metrics.Counter
@@ -41,6 +42,8 @@ func newServiceMetrics(workers int) *serviceMetrics {
 			"submissions rejected with 429 by client", "client"),
 		depth: reg.Gauge("mgridd_queue_depth",
 			"queued runs by client", "client"),
+		runShards: reg.Counter("mgridd_run_shards",
+			"simulations started by engine shard count (0 = serial)", "shards"),
 		workers: reg.Gauge("mgridd_workers",
 			"size of the simulation worker pool").With(),
 		busy: reg.Gauge("mgridd_workers_busy",

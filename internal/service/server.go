@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -19,7 +20,7 @@ import (
 // artifact bytes could change shape (simulator semantics, artifact
 // encodings), so a redeployed mgridd never serves results computed by a
 // different simulator.
-const Version = "mgridd/1"
+const Version = "mgridd/2"
 
 // DefaultClient is the client key used when a submission names none.
 const DefaultClient = "anonymous"
@@ -173,6 +174,7 @@ func (s *Server) dispatch() {
 		s.startSeq++
 		r.startSeq = s.startSeq
 		s.metrics.started.Inc()
+		s.metrics.runShards.With(strconv.Itoa(r.scen.EngineShards)).Inc()
 		s.transitionLocked(r, StateRunning)
 		go s.execute(r)
 	}

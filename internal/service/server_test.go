@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"microgrid/internal/scenario"
 )
 
 // pingScenario is a tiny two-host ping-pong scenario that simulates in
@@ -448,4 +450,104 @@ func TestServerStream(t *testing.T) {
 	if !strings.HasPrefix(lines[len(lines)-1], `{"id":`) {
 		t.Fatalf("stream line does not lead with id: %s", lines[len(lines)-1])
 	}
+}
+
+// partitionScenario is a tiny two-cluster scenario (two hosts joined by
+// one 2 ms wide-area link) whose model partitions across shards.
+func partitionScenario(shards int) string {
+	engine := ""
+	if shards > 0 {
+		engine = fmt.Sprintf("engine parallel shards=%d\npartition auto\n", shards)
+	}
+	return fmt.Sprintf(`scenario part-cache
+seed 3
+target procs=2 cpu=500 net=100Mbps delay=10us
+%stopology
+  topology twosite
+  host a0 1.0.1.1
+  host b0 1.0.2.1
+  link a0 b0 10Mbps 2ms
+end
+ranks a0 b0
+workload pingpong bytes=1024
+`, engine)
+}
+
+// TestServerPartitionCacheKey pins the partition layer's cache
+// contract: submissions differing only in the parallel shard count
+// produce byte-identical artifacts — the shard-matrix determinism
+// guarantee — so they share one cache entry, while a serial submission
+// (whose trace keeps CatEngine dispatch telemetry) stays distinct. Also
+// checks the mgridd_run_shards metric.
+func TestServerPartitionCacheKey(t *testing.T) {
+	// First principles: shards=2 and shards=4 executed independently
+	// (separate servers, no cache between them) yield the same bytes.
+	fresh := func(shards int) *Artifacts {
+		s := newTestServer(t, Config{Workers: 1})
+		code, info := submit(t, s, "alice", partitionScenario(shards))
+		if code != http.StatusAccepted {
+			t.Fatalf("shards=%d: submit status %d", shards, code)
+		}
+		done := waitTerminal(t, s, info.ID)
+		if done.State != string(StateDone) {
+			t.Fatalf("shards=%d: state %s (%s)", shards, done.State, done.Error)
+		}
+		arts := &Artifacts{}
+		for name, dst := range map[string]*[]byte{
+			"campaign.json": &arts.CampaignJSON,
+			"stdout":        &arts.Stdout,
+			"trace.jsonl":   &arts.TraceJSONL,
+		} {
+			code, body := artifact(t, s, info.ID, name)
+			if code != http.StatusOK {
+				t.Fatalf("shards=%d: artifact %s status %d", shards, name, code)
+			}
+			*dst = body
+		}
+		return arts
+	}
+	a2, a4 := fresh(2), fresh(4)
+	if !bytes.Equal(a2.CampaignJSON, a4.CampaignJSON) ||
+		!bytes.Equal(a2.Stdout, a4.Stdout) ||
+		!bytes.Equal(a2.TraceJSONL, a4.TraceJSONL) {
+		t.Fatal("shards=2 and shards=4 artifacts differ; the shared cache key would be unsound")
+	}
+
+	// Therefore the keys coincide: on one server the shards=4 submission
+	// is served from the shards=2 entry without simulating.
+	if CacheKey(mustParse(t, partitionScenario(2)), false, Version) !=
+		CacheKey(mustParse(t, partitionScenario(4)), false, Version) {
+		t.Fatal("partitioned cache keys differ across shard counts")
+	}
+	s := newTestServer(t, Config{Workers: 1})
+	code, first := submit(t, s, "alice", partitionScenario(2))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitTerminal(t, s, first.ID)
+	code, second := submit(t, s, "alice", partitionScenario(4))
+	if code != http.StatusOK || !second.Cached {
+		t.Fatalf("shards=4 after shards=2: status %d cached=%v, want a cache hit", code, second.Cached)
+	}
+
+	// A serial submission must NOT share the entry (its trace carries
+	// engine dispatch telemetry the partitioned trace strips).
+	if CacheKey(mustParse(t, partitionScenario(0)), false, Version) ==
+		CacheKey(mustParse(t, partitionScenario(2)), false, Version) {
+		t.Fatal("serial and partitioned cache keys coincide")
+	}
+
+	m := scrape(t, s)
+	if !strings.Contains(m, `mgridd_run_shards{shards="2"} 1`) {
+		t.Fatalf("mgridd_run_shards missing from metrics:\n%s", m)
+	}
+}
+
+func mustParse(t *testing.T, text string) *scenario.Scenario {
+	t.Helper()
+	s, err := scenario.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

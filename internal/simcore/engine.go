@@ -97,15 +97,26 @@ type Engine struct {
 	rng      *rand.Rand
 	stopped  bool
 	rec      *trace.Recorder
+	// baseSeed is the user-level seed shared by every shard of a run:
+	// DeriveRand mixes it with entity labels so derived streams are
+	// identical at any shard count (see DeriveRand).
+	baseSeed int64
+	// pe and shard bind this engine into a ParallelEngine; nil/0 for a
+	// stand-alone serial engine.
+	pe    *ParallelEngine
+	shard int
+	// dispatched counts executed events, for events/sec reporting.
+	dispatched int64
 }
 
 // NewEngine returns an engine with a deterministic random source derived
 // from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		ctl:   make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		ctl:      make(chan struct{}),
+		procs:    make(map[*Proc]struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+		baseSeed: seed,
 	}
 }
 
@@ -115,6 +126,56 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source. It must only be
 // used from simulation processes or event callbacks, never concurrently.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// DeriveRand returns a deterministic random stream for a named entity.
+// The stream's seed mixes the run's base seed with a hash of label only —
+// never with build order or shard identity — so a given entity draws the
+// same sequence no matter how the model is partitioned across shards.
+// Each call returns a fresh stream positioned at its start; callers that
+// need a persistent per-entity stream must hold on to the result.
+func (e *Engine) DeriveRand(label string) *rand.Rand {
+	// FNV-1a over the label, folded into the base seed.
+	const offset64, prime64 = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	seed := int64(h ^ uint64(e.baseSeed)*0x9e3779b97f4a7c15)
+	return rand.New(rand.NewSource(seed))
+}
+
+// SetBaseSeed overrides the seed DeriveRand mixes entity labels with.
+// ParallelEngine uses it so every shard derives identical per-entity
+// streams from the one user seed even though shard event streams are
+// decorrelated.
+func (e *Engine) SetBaseSeed(seed int64) { e.baseSeed = seed }
+
+// ShardIndex returns this engine's shard number within its parallel
+// engine (0 for a stand-alone serial engine).
+func (e *Engine) ShardIndex() int { return e.shard }
+
+// Parallel returns the ParallelEngine this engine is a shard of, or nil.
+func (e *Engine) Parallel() *ParallelEngine { return e.pe }
+
+// Dispatched returns the number of events this engine has executed.
+func (e *Engine) Dispatched() int64 { return e.dispatched }
+
+// SendTo schedules fn on engine dst, d from now. On the same engine it is
+// exactly After; across shards of one ParallelEngine it becomes a
+// conservative cross-shard Send, which requires d to be at least the
+// engine's lookahead. Engines not related through a common ParallelEngine
+// cannot exchange events and panic.
+func (e *Engine) SendTo(dst *Engine, d Duration, fn func()) {
+	if dst == e {
+		e.After(d, fn)
+		return
+	}
+	if e.pe == nil || e.pe != dst.pe {
+		panic("simcore: SendTo between unrelated engines")
+	}
+	e.pe.Send(e.shard, dst.shard, e.now.Add(d), fn)
+}
 
 // SetRecorder attaches a structured trace recorder (nil detaches). The
 // recorder's clock is bound to the engine's virtual time, so every record
@@ -299,6 +360,7 @@ func (e *Engine) RunUntil(limit Time) error {
 				if e.rec.Enabled(trace.CatEngine) {
 					e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 				}
+				e.dispatched++
 				ev.fn()
 				continue
 			}
@@ -312,6 +374,7 @@ func (e *Engine) RunUntil(limit Time) error {
 			if e.rec.Enabled(trace.CatEngine) {
 				e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 			}
+			e.dispatched++
 			ev.fn()
 			continue
 		}
@@ -324,6 +387,7 @@ func (e *Engine) RunUntil(limit Time) error {
 		if e.rec.Enabled(trace.CatEngine) {
 			e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 		}
+		e.dispatched++
 		ev.fn()
 	}
 	var blocked []string
@@ -369,6 +433,7 @@ func (e *Engine) runWindow(end Time) {
 				if e.rec.Enabled(trace.CatEngine) {
 					e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 				}
+				e.dispatched++
 				ev.fn()
 				continue
 			}
@@ -382,6 +447,7 @@ func (e *Engine) runWindow(end Time) {
 			if e.rec.Enabled(trace.CatEngine) {
 				e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 			}
+			e.dispatched++
 			ev.fn()
 			continue
 		}
@@ -393,6 +459,7 @@ func (e *Engine) runWindow(end Time) {
 		if e.rec.Enabled(trace.CatEngine) {
 			e.rec.Event(trace.CatEngine, "dispatch", trace.Attr{})
 		}
+		e.dispatched++
 		ev.fn()
 	}
 }

@@ -34,6 +34,17 @@ type delivery struct {
 	fn       func()
 }
 
+// gevent is a global barrier action: a callback that must observe and
+// mutate state owned by several shards at once (link failures on
+// inter-shard links, route recomputation). It runs single-threaded at
+// the barrier opening the window that starts at its time, before any
+// shard executes events at that time.
+type gevent struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
 // ParallelEngine is a conservative parallel discrete-event engine in the
 // classic CMB (Chandy–Misra–Bryant) windowed style: the model is
 // partitioned into N shards, each an independent serial Engine with its
@@ -81,8 +92,17 @@ type ParallelEngine struct {
 	running   bool
 	now       Time
 
+	// globals holds pending barrier actions (unsorted; the set is tiny —
+	// chaos link events — so a linear scan beats heap bookkeeping).
+	// globalSeq orders same-instant actions by scheduling order and
+	// globalNow is the time of the barrier currently executing them.
+	globals   []gevent
+	globalSeq int64
+	globalNow Time
+
 	nwindows    int64
 	ncrossSent  int64
+	crossBySrc  []int64
 	deliverBuf  []delivery
 	activeBuf   []*Engine
 	panicBuf    []any
@@ -103,16 +123,24 @@ func NewParallelEngine(seed int64, n int) *ParallelEngine {
 		panic(fmt.Sprintf("simcore: parallel engine needs at least 1 shard, got %d", n))
 	}
 	pe := &ParallelEngine{
-		shards:  make([]*Engine, n),
-		queues:  make([][]xevent, n*n),
-		sendSeq: make([]int64, n),
+		shards:     make([]*Engine, n),
+		queues:     make([][]xevent, n*n),
+		sendSeq:    make([]int64, n),
+		crossBySrc: make([]int64, n),
 	}
 	for i := range pe.shards {
 		s := seed
 		if i > 0 {
 			s = seed ^ int64(i)*shardSeedMix
 		}
-		pe.shards[i] = NewEngine(s)
+		sh := NewEngine(s)
+		// Every shard shares the user-level seed for DeriveRand so
+		// per-entity streams are partition-independent; only the legacy
+		// shard-local Rand() stream is decorrelated per shard.
+		sh.baseSeed = seed
+		sh.pe = pe
+		sh.shard = i
+		pe.shards[i] = sh
 	}
 	return pe
 }
@@ -134,6 +162,70 @@ func (pe *ParallelEngine) Windows() int64 { return pe.nwindows }
 
 // CrossEvents returns how many cross-shard events have been sent.
 func (pe *ParallelEngine) CrossEvents() int64 { return pe.ncrossSent }
+
+// CrossEventsFrom returns how many cross-shard events shard src has sent.
+func (pe *ParallelEngine) CrossEventsFrom(src int) int64 {
+	pe.checkShard(src)
+	return pe.crossBySrc[src]
+}
+
+// AtGlobal schedules fn to run single-threaded at the barrier opening
+// the window that starts at time t, before any shard executes events at
+// t. It is the scheduling point for actions that must atomically touch
+// state spanning shards — taking an inter-shard link down, recomputing
+// routes — which cannot run inside any one shard's window. Call it
+// before Run starts or from within another global action; same-instant
+// actions run in scheduling order. In a serial (1-shard or plain Engine)
+// run the equivalent is an ordinary At.
+func (pe *ParallelEngine) AtGlobal(t Time, fn func()) {
+	if t < pe.globalNow {
+		panic(fmt.Sprintf("simcore: AtGlobal at %v before current barrier %v", t, pe.globalNow))
+	}
+	pe.globalSeq++
+	pe.globals = append(pe.globals, gevent{t: t, seq: pe.globalSeq, fn: fn})
+}
+
+// nextGlobalTime reports the earliest pending global action time.
+func (pe *ParallelEngine) nextGlobalTime() (Time, bool) {
+	var best Time
+	ok := false
+	for i := range pe.globals {
+		if t := pe.globals[i].t; !ok || t < best {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// runGlobals executes every global action due at t0 in scheduling order,
+// looping so actions scheduled by other actions at the same instant also
+// run. Shard clocks have already been raised to t0, so actions observe a
+// consistent global now.
+func (pe *ParallelEngine) runGlobals(t0 Time) {
+	pe.globalNow = t0
+	for {
+		var due []gevent
+		keep := pe.globals[:0]
+		for _, g := range pe.globals {
+			if g.t == t0 {
+				due = append(due, g)
+			} else {
+				keep = append(keep, g)
+			}
+		}
+		for i := len(keep); i < len(pe.globals); i++ {
+			pe.globals[i] = gevent{}
+		}
+		pe.globals = keep
+		if len(due) == 0 {
+			return
+		}
+		sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+		for i := range due {
+			due[i].fn()
+		}
+	}
+}
 
 // SetLookahead fixes the window length explicitly, overriding declared
 // links. It panics on d ≤ 0 or while the engine is running.
@@ -208,6 +300,7 @@ func (pe *ParallelEngine) Send(src, dst int, t Time, fn func()) {
 			src, dst, t, we))
 	}
 	pe.sendSeq[src]++
+	pe.crossBySrc[src]++
 	pe.queues[src*len(pe.shards)+dst] = append(
 		pe.queues[src*len(pe.shards)+dst],
 		xevent{t: t, seq: pe.sendSeq[src], fn: fn},
@@ -345,12 +438,32 @@ func (pe *ParallelEngine) RunUntil(limit Time) error {
 	}
 	for !pe.stopped.Load() {
 		t0, ok := pe.nextTime()
+		if g, gok := pe.nextGlobalTime(); gok && (!ok || g < t0) {
+			t0, ok = g, true
+		}
 		if !ok || t0 > limit {
+			break
+		}
+		// Raise every shard clock to the window start so global actions
+		// and cross-shard deliveries observe one consistent now, then run
+		// the due barrier actions single-threaded before any shard work.
+		for _, sh := range pe.shards {
+			if sh.now < t0 {
+				sh.now = t0
+			}
+		}
+		pe.runGlobals(t0)
+		if pe.stopped.Load() || pe.anyShardStopped() {
 			break
 		}
 		end := t0.Add(pe.lookhead)
 		if end <= t0 || end > bound {
 			end = bound
+		}
+		// Never run shards past a pending global action: it must execute
+		// at a barrier before any shard reaches its time.
+		if g, gok := pe.nextGlobalTime(); gok && g < end {
+			end = g
 		}
 		pe.windowEnd.Store(int64(end))
 		pe.deliver(end)
@@ -403,6 +516,21 @@ func (pe *ParallelEngine) pending() int {
 // a deterministic report), shut every shard down in shard order, and
 // surface a deadlock if the event supply drained with processes blocked.
 func (pe *ParallelEngine) finish() error {
+	// Equalize shard clocks at the global maximum first: shutdown aborts
+	// blocked processes at each shard's now, and the abort timestamps must
+	// not depend on which shard happened to dispatch the final event.
+	final := pe.now
+	for _, sh := range pe.shards {
+		if sh.now > final {
+			final = sh.now
+		}
+	}
+	for _, sh := range pe.shards {
+		if sh.now < final {
+			sh.now = final
+		}
+	}
+	pe.now = final
 	var blocked []string
 	for _, sh := range pe.shards {
 		for p := range sh.procs {
@@ -421,48 +549,22 @@ func (pe *ParallelEngine) finish() error {
 	return nil
 }
 
-// MergedTrace merges the shards' retained trace events into one run in
-// the deterministic (time, shard, shard-seq) order, renumbering Seq into
-// the merged emission order. Shards without a recorder contribute
-// nothing; the label and buffer size are taken from shard 0's recorder,
-// emitted/dropped counters are summed.
+// MergedTrace merges the shards' retained trace events into one
+// canonical run (trace.Canonicalize order: time, then full event
+// content), renumbering Seq into the canonical order. Because the order
+// never consults shard identity or recorder-local sequence numbers, the
+// merged run is byte-identical at any shard count as long as every
+// shard's recorder retained all of its events. Shards without a recorder
+// contribute nothing; the label and buffer size are taken from the first
+// recorder found, emitted/dropped counters are summed.
 func (pe *ParallelEngine) MergedTrace() trace.Run {
-	type tagged struct {
-		ev    trace.Event
-		shard int
-	}
-	var all []tagged
-	var out trace.Run
-	for i, sh := range pe.shards {
+	var runs []trace.Run
+	for _, sh := range pe.shards {
 		r := sh.Recorder()
 		if r == nil {
 			continue
 		}
-		snap := r.Snapshot()
-		if i == 0 {
-			out.Label = snap.Label
-			out.BufSize = snap.BufSize
-		}
-		out.Emitted += snap.Emitted
-		out.Dropped += snap.Dropped
-		for _, ev := range snap.Events {
-			all = append(all, tagged{ev: ev, shard: i})
-		}
+		runs = append(runs, r.Snapshot())
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := &all[i], &all[j]
-		if a.ev.T != b.ev.T {
-			return a.ev.T < b.ev.T
-		}
-		if a.shard != b.shard {
-			return a.shard < b.shard
-		}
-		return a.ev.Seq < b.ev.Seq
-	})
-	out.Events = make([]trace.Event, len(all))
-	for i, t := range all {
-		t.ev.Seq = uint64(i + 1)
-		out.Events[i] = t.ev
-	}
-	return out
+	return trace.MergeRuns(runs)
 }

@@ -398,3 +398,71 @@ func HostReport(run Run) string {
 	}
 	return b.String()
 }
+
+// ShardSummary attributes a run's events to PDES shards through a
+// node→shard placement (e.g. core.PartitionPreview's): per shard it
+// reports the event count, the busy virtual time (summed span
+// durations), and the cross-shard sends — events on links whose
+// endpoints land on different shards, charged to the source shard.
+// Events naming no known node fall in the "-" bucket. The merged trace
+// itself is partition-independent; this view shows how a partitioned
+// engine would split the same work.
+func ShardSummary(runs []Run, shardOf map[string]int) string {
+	var b strings.Builder
+	for _, run := range runs {
+		fmt.Fprintf(&b, "run %s\n", orUnnamed(run.Label))
+		type stat struct {
+			events int
+			busy   int64
+			cross  int
+		}
+		stats := map[int]*stat{}
+		get := func(shard int) *stat {
+			st := stats[shard]
+			if st == nil {
+				st = &stat{}
+				stats[shard] = st
+			}
+			return st
+		}
+		unattributed := &stat{}
+		for i := range run.Events {
+			ev := &run.Events[i]
+			st := unattributed
+			cross := false
+			if ev.Link != "" {
+				src, dst, ok := strings.Cut(ev.Link, "->")
+				ss, sok := shardOf[src]
+				if ok && sok {
+					st = get(ss)
+					if ds, dok := shardOf[dst]; dok && ds != ss {
+						cross = true
+					}
+				}
+			} else if ev.Host != "" {
+				if s, ok := shardOf[ev.Host]; ok {
+					st = get(s)
+				}
+			}
+			st.events++
+			st.busy += ev.Dur
+			if cross {
+				st.cross++
+			}
+		}
+		shards := make([]int, 0, len(stats))
+		for s := range stats {
+			shards = append(shards, s)
+		}
+		sort.Ints(shards)
+		fmt.Fprintf(&b, "  %-6s %10s %14s %18s\n", "shard", "events", "busy", "cross-shard sends")
+		for _, s := range shards {
+			st := stats[s]
+			fmt.Fprintf(&b, "  %-6d %10d %14s %18d\n", s, st.events, fmtNS(st.busy), st.cross)
+		}
+		if unattributed.events > 0 {
+			fmt.Fprintf(&b, "  %-6s %10d %14s %18d\n", "-", unattributed.events, fmtNS(unattributed.busy), unattributed.cross)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardSummary pins the per-shard attribution: host events land on
+// their host's shard, link events on the source endpoint's shard, a
+// link whose endpoints straddle shards counts as a cross-shard send,
+// and unknown nodes fall in the "-" bucket.
+func TestShardSummary(t *testing.T) {
+	run := Run{Label: "part", Events: []Event{
+		{T: 10, Cat: CatProc, Name: "rank-start", Host: "a0"},
+		{T: 20, Cat: CatCPU, Name: "slice", Host: "b0", Dur: 5},
+		{T: 30, Cat: CatNet, Name: "link-deliver", Link: "a0->b0", Bytes: 64},
+		{T: 40, Cat: CatNet, Name: "link-deliver", Link: "b0->b1", Bytes: 64},
+		{T: 50, Cat: CatProc, Name: "spawn", Host: "mystery"},
+	}}
+	shardOf := map[string]int{"a0": 0, "b0": 1, "b1": 1}
+	out := ShardSummary([]Run{run}, shardOf)
+	for _, want := range []string{
+		"run part",
+		// shard 0: the a0 host event plus the cross-shard a0->b0 hop.
+		"0               2      0.000000s                  1",
+		// shard 1: the b0 slice (busy 5 ns) and the intra-shard hop.
+		"1               2      0.000000s                  0",
+		// the unknown host.
+		"-               1      0.000000s                  0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -297,6 +297,67 @@ func (r *Recorder) Snapshot() Run {
 	}
 }
 
+// Canonicalize returns r with its events in the partition-independent
+// canonical order: sorted by start time, ties broken by full content
+// (category, name, attributes, size, duration, detail), and Seq
+// renumbered in that order. The tiebreak never consults recorder-local
+// sequence numbers, and events with fully identical content are
+// interchangeable, so one serial recorder and N per-shard recorders that
+// observed the same model produce byte-identical canonical runs. Exports
+// that must be stable under re-partitioning (MergedTrace, the campaign
+// trace JSONL) run every snapshot through this.
+func Canonicalize(r Run) Run {
+	evs := append([]Event(nil), r.Events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		switch {
+		case a.T != b.T:
+			return a.T < b.T
+		case a.Cat != b.Cat:
+			return a.Cat < b.Cat
+		case a.Name != b.Name:
+			return a.Name < b.Name
+		case a.Host != b.Host:
+			return a.Host < b.Host
+		case a.Link != b.Link:
+			return a.Link < b.Link
+		case a.Rank != b.Rank:
+			return a.Rank < b.Rank
+		case a.Peer != b.Peer:
+			return a.Peer < b.Peer
+		case a.Bytes != b.Bytes:
+			return a.Bytes < b.Bytes
+		case a.Dur != b.Dur:
+			return a.Dur < b.Dur
+		default:
+			return a.Detail < b.Detail
+		}
+	})
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+	}
+	r.Events = evs
+	return r
+}
+
+// MergeRuns combines per-shard snapshots of one logical run into a single
+// canonical Run: label and buffer size come from the first snapshot,
+// emitted/dropped counters are summed, and the event union is
+// canonicalized.
+func MergeRuns(runs []Run) Run {
+	var out Run
+	for i, r := range runs {
+		if i == 0 {
+			out.Label = r.Label
+			out.BufSize = r.BufSize
+		}
+		out.Emitted += r.Emitted
+		out.Dropped += r.Dropped
+		out.Events = append(out.Events, r.Events...)
+	}
+	return Canonicalize(out)
+}
+
 // SortByTime orders events by (T, Seq) — the deterministic total order
 // analyses use (spans are buffered in completion order, not start order).
 func SortByTime(events []Event) {

@@ -43,7 +43,7 @@ func (h *Host) Crash() {
 		h.job = nil
 	}
 	// Fresh CPU lock: any waiters on the old one are dead.
-	h.cpu = simcore.NewMutex(h.grid.eng)
+	h.cpu = simcore.NewMutex(h.eng)
 	if h.grid.OnCrash != nil {
 		h.grid.OnCrash(h)
 	}

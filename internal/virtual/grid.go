@@ -79,6 +79,14 @@ type Config struct {
 	// whole cycle (worst case). Staggered phases reproduce the
 	// quantum-dependent modeling errors of Fig. 11.
 	StaggerSpread float64
+	// AssignEngines, when set, partitions the grid across PDES shards: it
+	// is consulted after the topology is wired and returns, per netsim
+	// node name, the engine that node — and the virtual host attached to
+	// it — lives on. Unlisted nodes stay on the grid's engine. Physical
+	// hosts inherit the engine of the virtual hosts mapped onto them; a
+	// physical host shared by virtual hosts on different engines is an
+	// error.
+	AssignEngines func(nw *netsim.Network) map[string]*simcore.Engine
 }
 
 // Grid is a running virtual grid.
@@ -111,6 +119,11 @@ type Grid struct {
 // Host is one virtual host.
 type Host struct {
 	grid *Grid
+	// eng is the PDES shard this host's processes run on (the grid's
+	// engine unless Config.AssignEngines placed it elsewhere); clock is
+	// the host-local view of virtual time on that engine.
+	eng   *simcore.Engine
+	clock *vtime.Clock
 	// Name and IP are what applications observe.
 	Name string
 	IP   netsim.Addr
@@ -146,12 +159,12 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 	if len(cfg.Hosts) == 0 {
 		return nil, fmt.Errorf("virtual: no hosts configured")
 	}
-	phys := make(map[string]*cpusched.Host, len(cfg.Phys))
+	physCfg := make(map[string]PhysConfig, len(cfg.Phys))
 	for _, pc := range cfg.Phys {
 		if pc.CPUSpeedMIPS <= 0 {
 			return nil, fmt.Errorf("virtual: physical host %s needs positive speed", pc.Name)
 		}
-		phys[pc.Name] = cpusched.NewHost(eng, pc.Name, pc.CPUSpeedMIPS, pc.Quantum)
+		physCfg[pc.Name] = pc
 	}
 
 	rate := cfg.Rate
@@ -161,7 +174,7 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 		// (several virtual hosts may share one machine).
 		demand := map[string]float64{}
 		for _, h := range cfg.Hosts {
-			if _, ok := phys[h.MappedPhysical]; !ok {
+			if _, ok := physCfg[h.MappedPhysical]; !ok {
 				return nil, fmt.Errorf("virtual: host %s maps to unknown physical %q", h.Name, h.MappedPhysical)
 			}
 			demand[h.MappedPhysical] += h.CPUSpeedMIPS
@@ -170,7 +183,7 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 		for name, d := range demand {
 			rr = append(rr, vtime.ResourceRate{
 				Resource: name, Kind: "cpu",
-				Physical: phys[name].SpeedMIPS(), Virtual: d,
+				Physical: physCfg[name].CPUSpeedMIPS, Virtual: d,
 			})
 		}
 		rate, _ = vtime.MaxFeasibleRate(rr)
@@ -189,7 +202,7 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 		direct:          cfg.Direct,
 		hosts:           make(map[string]*Host),
 		byIP:            make(map[netsim.Addr]*Host),
-		phys:            phys,
+		phys:            make(map[string]*cpusched.Host, len(cfg.Phys)),
 		controllers:     make(map[string]*cpusched.MultiController),
 		stagger:         cfg.StaggerSpread,
 		sendOverheadOps: cfg.SendOverheadOps,
@@ -208,6 +221,39 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 	}
 	g.vnet.ComputeRoutes()
 	g.vnet.SetFlowMode(cfg.FlowNetwork)
+
+	if cfg.AssignEngines != nil {
+		for name, e := range cfg.AssignEngines(g.vnet) {
+			nd := g.vnet.Node(name)
+			if nd == nil {
+				return nil, fmt.Errorf("virtual: engine assignment names unknown node %q", name)
+			}
+			g.vnet.SetNodeEngine(nd, e)
+		}
+	}
+
+	// Physical hosts are created on the engine of the virtual hosts
+	// mapped onto them, so a host's CPU scheduler shares its shard.
+	physEng := make(map[string]*simcore.Engine, len(cfg.Phys))
+	for _, hc := range cfg.Hosts {
+		nd := g.vnet.Node(hc.Name)
+		if nd == nil {
+			continue // the host loop below reports the missing node
+		}
+		he := nd.Engine()
+		if prev, ok := physEng[hc.MappedPhysical]; ok && prev != he {
+			return nil, fmt.Errorf("virtual: physical host %s is shared by virtual hosts on different PDES shards", hc.MappedPhysical)
+		}
+		physEng[hc.MappedPhysical] = he
+	}
+	for _, pc := range cfg.Phys {
+		pe := physEng[pc.Name]
+		if pe == nil {
+			pe = eng
+		}
+		g.phys[pc.Name] = cpusched.NewHost(pe, pc.Name, pc.CPUSpeedMIPS, pc.Quantum)
+	}
+	phys := g.phys
 
 	for _, hc := range cfg.Hosts {
 		if hc.CPUSpeedMIPS <= 0 {
@@ -228,15 +274,18 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 		if mem == 0 {
 			mem = 4 << 30
 		}
+		heng := node.Engine()
 		h := &Host{
 			grid:         g,
+			eng:          heng,
+			clock:        vtime.NewClock(heng, rate),
 			Name:         hc.Name,
 			IP:           hc.IP,
 			CPUSpeedMIPS: hc.CPUSpeedMIPS,
 			Node:         node,
 			Mem:          memmodel.NewLimiter(mem),
 			Phys:         p,
-			cpu:          simcore.NewMutex(eng),
+			cpu:          simcore.NewMutex(heng),
 		}
 		h.task = p.NewTask("vhost:" + hc.Name)
 		if cfg.Direct {
@@ -277,6 +326,13 @@ func (g *Grid) ScaleLink(cfg netsim.LinkConfig) netsim.LinkConfig {
 
 // Engine returns the engine the grid runs on.
 func (g *Grid) Engine() *simcore.Engine { return g.eng }
+
+// Engine returns the PDES shard this host runs on.
+func (h *Host) Engine() *simcore.Engine { return h.eng }
+
+// Clock returns the host-local virtual clock (same rate grid-wide; bound
+// to the host's engine so reads never cross shards).
+func (h *Host) Clock() *vtime.Clock { return h.clock }
 
 // Clock returns the grid's virtual clock.
 func (g *Grid) Clock() *vtime.Clock { return g.clock }

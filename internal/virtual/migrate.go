@@ -42,6 +42,9 @@ func (h *Host) checkMigrate(target *cpusched.Host) (float64, error) {
 	if target.Failed() {
 		return 0, fmt.Errorf("virtual: migrate %s: target %s is failed", h.Name, target.Name)
 	}
+	if target.Engine() != h.eng {
+		return 0, fmt.Errorf("virtual: migrate %s: target %s lives on a different PDES shard", h.Name, target.Name)
+	}
 	g := h.grid
 	if g.direct {
 		if h.CPUSpeedMIPS > target.SpeedMIPS()+1e-9 {
@@ -121,7 +124,7 @@ func (m *Migration) Wait(p *simcore.Proc) {
 // placement remain consistent: they never point at a machine that died
 // mid-migration.
 func (h *Host) MigrateStaged(target *cpusched.Host, copyTime simcore.Duration) (*Migration, error) {
-	mig := &Migration{host: h, target: target, fin: simcore.NewCond(h.grid.eng)}
+	mig := &Migration{host: h, target: target, fin: simcore.NewCond(h.eng)}
 	if target == h.Phys {
 		mig.done = true
 		mig.committed = true
@@ -131,7 +134,7 @@ func (h *Host) MigrateStaged(target *cpusched.Host, copyTime simcore.Duration) (
 	if err != nil {
 		return nil, err
 	}
-	h.grid.eng.After(copyTime, func() {
+	h.eng.After(copyTime, func() {
 		mig.done = true
 		defer mig.fin.Broadcast()
 		switch {

@@ -37,7 +37,7 @@ func (h *Host) Spawn(name string, fn func(p *Process)) (*Process, error) {
 	}
 	vp := &Process{host: h, mem: mem, name: pname}
 	h.procs = append(h.procs, vp)
-	vp.proc = h.grid.eng.Spawn(pname, func(p *simcore.Proc) {
+	vp.proc = h.eng.Spawn(pname, func(p *simcore.Proc) {
 		vp.proc = p
 		defer func() {
 			vp.dead = true
@@ -85,12 +85,12 @@ func (p *Process) Gethostname() string { return p.host.Name }
 // Gettimeofday returns the current virtual time — the intercepted
 // gettimeofday(), giving "the illusion of a virtual machine at full
 // speed".
-func (p *Process) Gettimeofday() simcore.Time { return p.host.grid.clock.Gettimeofday() }
+func (p *Process) Gettimeofday() simcore.Time { return p.host.clock.Gettimeofday() }
 
 // ToPhysical converts a span of virtual time to engine (physical) time —
 // for primitives outside this package that take engine-time deadlines.
 func (p *Process) ToPhysical(d simcore.Duration) simcore.Duration {
-	return p.host.grid.clock.ToPhysical(d)
+	return p.host.clock.ToPhysical(d)
 }
 
 // Dead reports whether the process has exited or been killed.
@@ -109,11 +109,11 @@ func (p *Process) Kill() {
 		h.task.CancelPending()
 		h.cpu.ForceUnlock()
 	}
-	h.grid.eng.Kill(p.proc)
+	h.eng.Kill(p.proc)
 }
 
 // Sleep suspends the process for a span of *virtual* time.
-func (p *Process) Sleep(d simcore.Duration) { p.host.grid.clock.SleepVirtual(p.proc, d) }
+func (p *Process) Sleep(d simcore.Duration) { p.host.clock.SleepVirtual(p.proc, d) }
 
 // Malloc charges bytes against the virtual host's memory capacity.
 func (p *Process) Malloc(bytes int64) error { return p.mem.Malloc(bytes) }
@@ -140,7 +140,7 @@ func (p *Process) Compute(ops float64) {
 	h.acquireCPU(p.proc)
 	start := p.proc.Now()
 	h.task.Compute(p.proc, ops)
-	p.CPUTime += h.grid.clock.ToVirtual(p.proc.Now().Sub(start))
+	p.CPUTime += h.clock.ToVirtual(p.proc.Now().Sub(start))
 	h.releaseCPU()
 }
 

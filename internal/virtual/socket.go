@@ -83,7 +83,7 @@ func (c *Conn) Recv() (netsim.Message, error) {
 
 // RecvTimeout is Recv with a virtual-time deadline.
 func (c *Conn) RecvTimeout(d simcore.Duration) (m netsim.Message, timedOut bool, err error) {
-	phys := c.p.host.grid.clock.ToPhysical(d)
+	phys := c.p.host.clock.ToPhysical(d)
 	m, timedOut, err = c.c.RecvTimeout(c.p.proc, phys)
 	if err == nil && !timedOut {
 		c.p.ChargeMessage(m.Size)

@@ -111,6 +111,11 @@ type (
 	ScenarioGIS = scenario.GISRef
 	// ScenarioEnv resolves a scenario's external references.
 	ScenarioEnv = core.ScenarioEnv
+	// ScenarioPartition places topology clusters on PDES shards
+	// (`partition auto` / `partition map node=shard ...`).
+	ScenarioPartition = scenario.PartitionSpec
+	// PartitionConfig is the build-level cluster→shard placement.
+	PartitionConfig = core.PartitionConfig
 )
 
 // ParseScenario parses the scenario text format.
@@ -247,6 +252,22 @@ func EnableTracing(cfg TraceConfig) { core.EnableTracing(cfg) }
 // engine with n shards (cmd/mgrid's and cmd/mgridrun's -shards flag does
 // this), 0 restores the per-scenario engine choice.
 func SetEngineShards(n int) { core.SetEngineShards(n) }
+
+// SetEnginePartition installs a process-wide partition override for all
+// subsequently built grids (cmd/mgrid's and cmd/mgridrun's -partition
+// flag does this); nil restores the per-scenario partition choice.
+func SetEnginePartition(pc *PartitionConfig) { core.SetEnginePartition(pc) }
+
+// ParsePartitionFlag parses a -partition CLI value: "auto", or a
+// comma-separated "node=shard,..." pin list ("" = nil).
+func ParsePartitionFlag(v string) (*PartitionConfig, error) { return core.ParsePartitionFlag(v) }
+
+// PartitionPreview resolves a scenario's partition offline: the
+// node→shard placement, the synchronization lookahead, and the shard
+// count the build would use (nil map = partitioning would be a no-op).
+func PartitionPreview(s *Scenario) (map[string]int, Duration, int, error) {
+	return core.PartitionPreview(s)
+}
 
 // ResetTracing disarms global tracing and drops collected recorders.
 func ResetTracing() { core.ResetTracing() }
