@@ -10,9 +10,15 @@
 //	mgridtrace links trace.jsonl            # per-link utilization timeline
 //	mgridtrace hosts trace.jsonl            # per-host CPU busy fractions
 //	mgridtrace chrome trace.jsonl out.json  # convert to Chrome/Perfetto JSON
+//	mgridtrace check trace.jsonl            # exit 1 if the ring dropped events
 //
 // Reading "-" takes the stream from stdin. All output is deterministic
 // for a given input.
+//
+// check is the gate the fuzzing oracle and CI use before trusting a
+// trace: a stream whose footer reports dropped events only reflects
+// the retained window, so any analysis of it would validate a
+// truncated record.
 package main
 
 import (
@@ -34,6 +40,7 @@ subcommands:
   links          per-link traffic, busy fraction and utilization timeline
   hosts          per-host CPU busy fraction from scheduler slices
   chrome         convert JSONL to Chrome trace-event JSON (Perfetto)
+  check          verify the stream is complete; exit 1 on dropped events
 `)
 	os.Exit(2)
 }
@@ -97,6 +104,24 @@ func main() {
 	case "hosts":
 		for _, run := range runs {
 			fmt.Print(trace.HostReport(run))
+		}
+	case "check":
+		bad := false
+		for _, run := range runs {
+			label := run.Label
+			if label == "" {
+				label = "trace"
+			}
+			if run.Dropped > 0 {
+				bad = true
+				fmt.Printf("%s: INCOMPLETE — %d of %d events dropped (buffer %d)\n",
+					label, run.Dropped, run.Emitted, run.BufSize)
+			} else {
+				fmt.Printf("%s: complete — %d events\n", label, run.Emitted)
+			}
+		}
+		if bad {
+			os.Exit(1)
 		}
 	case "chrome":
 		out := os.Stdout

@@ -93,12 +93,30 @@ func (n *Network) poolFor(eng *simcore.Engine) *pktPool {
 }
 
 // NetStats aggregates counters across the network.
+//
+// PacketsSent counts per-hop serialization completions, so a packet
+// crossing three links counts three times; the conservation identity the
+// oracle checks therefore uses PacketsOriginated, which counts each
+// packet exactly once when the origin node accepts it:
+//
+//	PacketsOriginated = PacketsDelivered + PacketsDropped +
+//	                    PacketsLost + PacketsAborted
+//
+// at quiescence (every terminal point of a packet's life increments
+// exactly one right-hand counter).
 type NetStats struct {
 	PacketsSent      int64
 	PacketsDelivered int64
 	PacketsDropped   int64
 	PacketsLost      int64 // random loss injection
-	BytesDelivered   int64
+	// PacketsOriginated counts packets accepted into the network at their
+	// origin (loopback included); it is the conservation left-hand side.
+	PacketsOriginated int64
+	// PacketsAborted counts in-flight packets invalidated by a link
+	// failure epoch bump — lost to the failure, but after the serializer
+	// already counted them Sent, so they are neither Dropped nor Lost.
+	PacketsAborted int64
+	BytesDelivered int64
 }
 
 // add accumulates o into s.
@@ -107,6 +125,8 @@ func (s *NetStats) add(o NetStats) {
 	s.PacketsDelivered += o.PacketsDelivered
 	s.PacketsDropped += o.PacketsDropped
 	s.PacketsLost += o.PacketsLost
+	s.PacketsOriginated += o.PacketsOriginated
+	s.PacketsAborted += o.PacketsAborted
 	s.BytesDelivered += o.BytesDelivered
 }
 
@@ -436,13 +456,27 @@ func (n *Network) PathBottleneckBps(a, b *Node) (float64, bool) {
 	return bw, true
 }
 
-// DirectionStats reports one link direction's counters.
+// DirectionStats reports one link direction's counters. At quiescence
+// the per-direction conservation identity holds:
+//
+//	Enqueued = Sent + Dropped + Lost + Aborted + Queued
+//
+// (Aborted here counts only packets invalidated while still serializing;
+// post-serialization aborts were already counted in Sent.)
 type DirectionStats struct {
 	// From and To name the direction.
 	From, To string
 	// Sent/Dropped/Lost are packet counters; BytesSent is the volume.
 	Sent, Dropped, Lost int64
-	BytesSent           int64
+	// Enqueued counts every packet handed to this direction, before any
+	// drop/loss decision — the per-direction conservation left-hand side.
+	Enqueued int64
+	// Aborted counts packets invalidated by an epoch bump while still
+	// serializing on this direction.
+	Aborted int64
+	// Queued is the number of packets still awaiting serialization.
+	Queued    int
+	BytesSent int64
 	// Utilization is the fraction of elapsed time the direction spent
 	// serializing packets.
 	Utilization float64
@@ -458,6 +492,7 @@ func (l *Link) Stats() [2]DirectionStats {
 		return DirectionStats{
 			From: from, To: to,
 			Sent: c.Sent, Dropped: c.Dropped, Lost: c.Lost,
+			Enqueued: c.Enqueued, Aborted: c.Aborted, Queued: len(c.queue),
 			BytesSent:   c.BytesSent,
 			Utilization: util,
 		}

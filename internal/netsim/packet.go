@@ -117,8 +117,13 @@ type channel struct {
 	// lossRng draws random loss from a per-channel stream derived from the
 	// channel's stable name, so loss patterns are partition-independent.
 	lossRng *rand.Rand
-	// Stats
+	// Stats. Enqueued counts every packet handed to send; Aborted counts
+	// packets invalidated by an epoch bump while still serializing. Both
+	// are only written from the source node's engine, so the per-direction
+	// conservation identity (see DirectionStats) is race-free under
+	// partitioning.
 	Sent, Dropped, Lost int64
+	Enqueued, Aborted   int64
 	BytesSent           int64
 	// busyTime accumulates serialization time for utilization reporting.
 	busyTime simcore.Duration
@@ -132,6 +137,7 @@ func newChannel(net *Network, name string, src, dst *Node, cfg LinkConfig) *chan
 // The channel owns pkt from here on: dropped or lost packets return to the
 // pool immediately.
 func (c *channel) send(pkt *Packet) {
+	c.Enqueued++
 	if c.down {
 		c.Dropped++
 		c.src.stats.PacketsDropped++
@@ -223,6 +229,8 @@ func (h *hopEvent) fire() {
 	c := h.ch
 	if !h.arrived {
 		if c.epoch != h.epoch {
+			c.Aborted++
+			c.src.stats.PacketsAborted++
 			c.src.freePacket(h.pkt)
 			c.src.freeHop(h)
 			return
@@ -241,6 +249,10 @@ func (h *hopEvent) fire() {
 			c.src.freeHop(h)
 			c.src.eng.SendTo(c.dst.eng, c.cfg.Delay, func() {
 				if c.epoch != epoch {
+					// Counted in the destination shard's bucket: the
+					// channel's own counters belong to the source engine
+					// and must not be written from here.
+					c.dst.stats.PacketsAborted++
 					c.dst.freePacket(pkt)
 					return
 				}
@@ -260,6 +272,7 @@ func (h *hopEvent) fire() {
 	pkt, ok := h.pkt, c.epoch == h.epoch
 	c.src.freeHop(h)
 	if !ok {
+		c.src.stats.PacketsAborted++
 		c.src.freePacket(pkt)
 		return
 	}
@@ -290,6 +303,7 @@ func (n *Node) sendPacket(pkt *Packet) error {
 	}
 	if pkt.Dst == n.Addr {
 		// Loopback: deliver at the current instant through the event queue.
+		n.stats.PacketsOriginated++
 		n.eng.After(0, func() { n.receive(pkt) })
 		return nil
 	}
@@ -307,6 +321,7 @@ func (n *Node) sendPacket(pkt *Packet) error {
 		n.freePacket(pkt)
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
 	}
+	n.stats.PacketsOriginated++
 	ifc.ch.send(pkt)
 	return nil
 }

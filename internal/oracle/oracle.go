@@ -1,0 +1,349 @@
+// Package oracle derives checkable expectations from a scenario and
+// verifies them against a run's artifacts — the deterministic trace,
+// the chaos timeline, the network counters, and the rendered report.
+// It is the expectations half of the differential/metamorphic fuzzing
+// subsystem: internal/scengen supplies random-but-valid scenarios, this
+// package decides whether the simulator's behavior on them was lawful.
+//
+// Properties are named so a violation is a precise claim:
+//
+//	trace-complete        the trace ring dropped no events
+//	seq-dense             canonical sequence numbers are 1..n
+//	time-monotone         virtual time never decreases along the sequence
+//	conservation-total    packets originated = delivered + dropped + lost + aborted
+//	conservation-link     per-direction enqueued = sent + dropped + lost + aborted + queued
+//	retry-termination     every submission attempt reaches a terminal outcome
+//	chaos-bounds          every injected fault fired inside its scheduled window
+//	metamorphic-identity  serial, sharded and partitioned runs emit identical artifacts
+//	flow-packet-envelope  flow-level and packet-level completion times agree
+//
+// Every check is a pure function over captured data, so the edge-case
+// tests can feed deliberately broken artifacts without running a
+// simulation.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"microgrid/internal/chaos"
+	"microgrid/internal/netsim"
+	"microgrid/internal/scenario"
+	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
+)
+
+// Property names, one per checkable expectation.
+const (
+	PropTraceComplete       = "trace-complete"
+	PropSeqDense            = "seq-dense"
+	PropTimeMonotone        = "time-monotone"
+	PropConservationTotal   = "conservation-total"
+	PropConservationLink    = "conservation-link"
+	PropRetryTermination    = "retry-termination"
+	PropChaosBounds         = "chaos-bounds"
+	PropMetamorphicIdentity = "metamorphic-identity"
+	PropFlowEnvelope        = "flow-packet-envelope"
+	// PropRoundTrip and PropRunCompletes guard the pipeline itself: the
+	// generated text must reparse byte-identically, and every variant
+	// must run to completion before its artifacts mean anything.
+	PropRoundTrip    = "round-trip"
+	PropRunCompletes = "run-completes"
+)
+
+// The flow-vs-packet agreement envelope: the two network models must
+// agree on workload completion time within FlowRelEnvelope of the
+// packet-level time, or within FlowAbsEnvelope outright (whichever is
+// looser — short runs are dominated by fixed per-message latency the
+// flow model folds into its transfer law). Chaos and lossy links
+// disable the check: the flow model does not replay faults.
+//
+// The relative bound is calibrated empirically over the generator's
+// seed distribution: the flow model runs up to ~47% fast on chatty
+// multi-hop workloads (it folds per-hop serialization and store-and-
+// forward latency into a single transfer law), and never runs slow.
+// 55% leaves margin for new draws while still catching gross
+// divergence — a hung transfer, a doubled completion time, a wrong
+// bottleneck share.
+const (
+	FlowRelEnvelope = 0.55
+	FlowAbsEnvelope = 0.025 // seconds
+)
+
+// Violation is one failed property.
+type Violation struct {
+	// Property names the failed expectation (Prop* constants).
+	Property string
+	// Variant identifies the run the evidence came from ("" when the
+	// property spans variants).
+	Variant string
+	// Detail is the evidence.
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Variant != "" {
+		return fmt.Sprintf("%s [%s]: %s", v.Property, v.Variant, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Property, v.Detail)
+}
+
+// CheckTrace verifies the canonical run's structural invariants:
+// nothing dropped, sequence numbers dense from 1, virtual time
+// non-decreasing along the sequence.
+func CheckTrace(run trace.Run) []Violation {
+	var out []Violation
+	if run.Dropped > 0 {
+		out = append(out, Violation{Property: PropTraceComplete,
+			Detail: fmt.Sprintf("trace ring dropped %d of %d events", run.Dropped, run.Emitted)})
+	}
+	lastT := int64(math.MinInt64)
+	for i, e := range run.Events {
+		if e.Seq != uint64(i+1) {
+			out = append(out, Violation{Property: PropSeqDense,
+				Detail: fmt.Sprintf("event %d has seq %d (want %d)", i, e.Seq, i+1)})
+			break
+		}
+		if e.T < lastT {
+			out = append(out, Violation{Property: PropTimeMonotone,
+				Detail: fmt.Sprintf("seq %d at t=%d ns after t=%d ns", e.Seq, e.T, lastT)})
+			break
+		}
+		lastT = e.T
+	}
+	return out
+}
+
+// CheckConservation verifies packet accounting: globally, every packet
+// accepted at its origin is eventually delivered, dropped, lost, or
+// aborted by a failure epoch; per link direction, every enqueued packet
+// is sent, dropped, lost, aborted, or still queued.
+func CheckConservation(total netsim.NetStats, dirs []netsim.DirectionStats) []Violation {
+	var out []Violation
+	accounted := total.PacketsDelivered + total.PacketsDropped + total.PacketsLost + total.PacketsAborted
+	if total.PacketsOriginated != accounted {
+		out = append(out, Violation{Property: PropConservationTotal,
+			Detail: fmt.Sprintf("originated %d != delivered %d + dropped %d + lost %d + aborted %d",
+				total.PacketsOriginated, total.PacketsDelivered, total.PacketsDropped,
+				total.PacketsLost, total.PacketsAborted)})
+	}
+	for _, d := range dirs {
+		got := d.Sent + d.Dropped + d.Lost + d.Aborted + int64(d.Queued)
+		if d.Enqueued != got {
+			out = append(out, Violation{Property: PropConservationLink,
+				Detail: fmt.Sprintf("%s->%s: enqueued %d != sent %d + dropped %d + lost %d + aborted %d + queued %d",
+					d.From, d.To, d.Enqueued, d.Sent, d.Dropped, d.Lost, d.Aborted, d.Queued)})
+		}
+	}
+	return out
+}
+
+// CheckRetryTermination verifies the middleware's submission lifecycle
+// from the trace: under the resilient client every attempt resolves
+// (job-ok or attempt-fail), attempts stay within the policy, and a
+// successful run ends in job-ok; under the plain client every submitted
+// gatekeeper reaches a terminal job state.
+func CheckRetryTermination(run trace.Run, retry *scenario.RetrySpec, reportedAttempts int) []Violation {
+	var out []Violation
+	if retry != nil {
+		attempts, ok, fail := 0, 0, 0
+		for _, e := range run.Events {
+			if e.Cat != trace.CatGlobus {
+				continue
+			}
+			switch e.Name {
+			case "attempt":
+				attempts++
+			case "job-ok":
+				ok++
+			case "attempt-fail":
+				fail++
+			}
+		}
+		if attempts > retry.MaxAttempts {
+			out = append(out, Violation{Property: PropRetryTermination,
+				Detail: fmt.Sprintf("%d attempts exceed the policy's max %d", attempts, retry.MaxAttempts)})
+		}
+		if ok+fail != attempts {
+			out = append(out, Violation{Property: PropRetryTermination,
+				Detail: fmt.Sprintf("%d attempts but %d terminal outcomes (%d ok, %d failed)",
+					attempts, ok+fail, ok, fail)})
+		}
+		if reportedAttempts > 0 && attempts != reportedAttempts {
+			out = append(out, Violation{Property: PropRetryTermination,
+				Detail: fmt.Sprintf("trace shows %d attempts, report says %d", attempts, reportedAttempts)})
+		}
+		if attempts > 0 && ok == 0 {
+			out = append(out, Violation{Property: PropRetryTermination,
+				Detail: fmt.Sprintf("no attempt succeeded (%d failed)", fail)})
+		}
+		return out
+	}
+	// Plain client: every gatekeeper that accepted a submission must
+	// reach DONE or FAILED at some later poll.
+	submitted := map[string]int64{}
+	terminal := map[string]bool{}
+	for _, e := range run.Events {
+		if e.Cat != trace.CatGlobus {
+			continue
+		}
+		switch e.Name {
+		case "submit":
+			if _, seen := submitted[e.Host]; !seen {
+				submitted[e.Host] = e.T
+			}
+		case "job-state":
+			if e.Detail == "DONE" || e.Detail == "FAILED" {
+				if at, seen := submitted[e.Host]; seen && e.T >= at {
+					terminal[e.Host] = true
+				}
+			}
+		}
+	}
+	for host := range submitted {
+		if !terminal[host] {
+			out = append(out, Violation{Property: PropRetryTermination,
+				Detail: fmt.Sprintf("job submitted to %s never reached a terminal state", host)})
+		}
+	}
+	return out
+}
+
+// expectedSlot is one timeline entry the schedule promises: an action
+// on a target inside a jitter window.
+type expectedSlot struct {
+	actions []string // acceptable action names
+	target  string
+	lo, hi  simcore.Time
+	desc    string
+}
+
+func (s expectedSlot) matches(e chaos.TimelineEntry) bool {
+	if e.Target != s.target || e.At < s.lo || e.At > s.hi {
+		return false
+	}
+	for _, a := range s.actions {
+		if e.Action == a {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckChaosBounds verifies the fired timeline against the schedule:
+// every scheduled action fired inside its (jittered) window, and no
+// timeline entry is unexplained by the schedule.
+func CheckChaosBounds(sched *chaos.Schedule, timeline []chaos.TimelineEntry) []Violation {
+	if sched == nil {
+		if len(timeline) == 0 {
+			return nil
+		}
+		return []Violation{{Property: PropChaosBounds,
+			Detail: fmt.Sprintf("%d chaos firings without a schedule", len(timeline))}}
+	}
+	var slots []expectedSlot
+	for i, e := range sched.Events {
+		// The armed time is At perturbed by up to ±Jitter, clamped at 0;
+		// follow-up phases are fixed offsets from that armed time.
+		lo, hi := e.At-simcore.Time(e.Jitter), e.At+simcore.Time(e.Jitter)
+		if lo < 0 {
+			lo = 0
+		}
+		window := func(off simcore.Duration) (simcore.Time, simcore.Time) {
+			return lo + simcore.Time(off), hi + simcore.Time(off)
+		}
+		slot := func(off simcore.Duration, target string, actions ...string) {
+			wlo, whi := window(off)
+			slots = append(slots, expectedSlot{
+				actions: actions, target: target, lo: wlo, hi: whi,
+				desc: fmt.Sprintf("event %d (%s %s)", i, e.Kind, target),
+			})
+		}
+		ab := e.A + "–" + e.B
+		switch e.Kind {
+		case chaos.HostCrash:
+			slot(0, e.Host, "crash")
+			if e.For > 0 {
+				slot(e.For, e.Host, "reboot", "reboot-fail")
+			}
+		case chaos.LinkDown:
+			slot(0, ab, "linkdown")
+			if e.For > 0 {
+				slot(e.For, ab, "linkup")
+			}
+		case chaos.LinkFlap:
+			off := simcore.Duration(0)
+			for c := 0; c < e.Count; c++ {
+				slot(off, ab, "linkdown")
+				slot(off+e.Down, ab, "linkup")
+				off += e.Down + e.Up
+			}
+		case chaos.LinkDegrade:
+			slot(0, ab, "degrade")
+			if e.For > 0 {
+				slot(e.For, ab, "restore")
+			}
+		case chaos.CPULoad:
+			slot(0, e.Host, "cpuload")
+			if e.For > 0 {
+				slot(e.For, e.Host, "cpuload-end")
+			}
+		case chaos.MemPressure:
+			slot(0, e.Host, "memhog", "memhog-fail")
+			if e.For > 0 {
+				// memhog-end only follows a successful allocation, so it
+				// is optional; accept it via the entry-side match below.
+				slots = append(slots, expectedSlot{
+					actions: []string{"memhog-end"}, target: e.Host,
+					lo:   func() simcore.Time { l, _ := window(e.For); return l }(),
+					hi:   func() simcore.Time { _, h := window(e.For); return h }(),
+					desc: "optional",
+				})
+			}
+		}
+	}
+	var out []Violation
+	for _, s := range slots {
+		if s.desc == "optional" {
+			continue
+		}
+		fired := false
+		for _, e := range timeline {
+			if s.matches(e) {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			out = append(out, Violation{Property: PropChaosBounds,
+				Detail: fmt.Sprintf("%s: no %v on %s fired in [%v, %v]",
+					s.desc, s.actions, s.target, simcore.Duration(s.lo), simcore.Duration(s.hi))})
+		}
+	}
+	for _, e := range timeline {
+		explained := false
+		for _, s := range slots {
+			if s.matches(e) {
+				explained = true
+				break
+			}
+		}
+		if !explained {
+			out = append(out, Violation{Property: PropChaosBounds,
+				Detail: fmt.Sprintf("unscheduled firing: %s %s at %v", e.Action, e.Target, simcore.Duration(e.At))})
+		}
+	}
+	return out
+}
+
+// CheckEnvelope verifies flow-level vs packet-level agreement on the
+// workload completion time (seconds of virtual time).
+func CheckEnvelope(packetSeconds, flowSeconds float64) []Violation {
+	diff := math.Abs(packetSeconds - flowSeconds)
+	if diff <= FlowAbsEnvelope || diff <= FlowRelEnvelope*packetSeconds {
+		return nil
+	}
+	return []Violation{{Property: PropFlowEnvelope,
+		Detail: fmt.Sprintf("packet-level %.4fs vs flow-level %.4fs: |Δ|=%.4fs exceeds %.0f%% and %.0fms",
+			packetSeconds, flowSeconds, diff, FlowRelEnvelope*100, FlowAbsEnvelope*1000)}}
+}

@@ -1,0 +1,182 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"microgrid/internal/chaos"
+	"microgrid/internal/netsim"
+	"microgrid/internal/scenario"
+	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
+)
+
+func propNames(vs []Violation) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Property)
+	}
+	return out
+}
+
+func wantProp(t *testing.T, vs []Violation, prop string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Property == prop {
+			return
+		}
+	}
+	t.Fatalf("no %s violation in %v", prop, vs)
+}
+
+// A trace whose ring overflowed must fail trace-complete.
+func TestCheckTraceDropped(t *testing.T) {
+	run := trace.Run{Emitted: 10, Dropped: 3,
+		Events: []trace.Event{{T: 0, Seq: 1}, {T: 1, Seq: 2}}}
+	wantProp(t, CheckTrace(run), PropTraceComplete)
+}
+
+// A gap in the canonical sequence numbering must fail seq-dense.
+func TestCheckTraceSeqGap(t *testing.T) {
+	run := trace.Run{Events: []trace.Event{{T: 0, Seq: 1}, {T: 1, Seq: 3}}}
+	wantProp(t, CheckTrace(run), PropSeqDense)
+}
+
+// Virtual time running backwards along the sequence must fail
+// time-monotone.
+func TestCheckTraceNonMonotone(t *testing.T) {
+	run := trace.Run{Events: []trace.Event{
+		{T: 5, Seq: 1}, {T: 9, Seq: 2}, {T: 4, Seq: 3}}}
+	vs := CheckTrace(run)
+	wantProp(t, vs, PropTimeMonotone)
+	if len(vs) != 1 {
+		t.Fatalf("want exactly the monotonicity violation, got %v", propNames(vs))
+	}
+}
+
+// A clean trace passes all three structural checks.
+func TestCheckTraceClean(t *testing.T) {
+	run := trace.Run{Emitted: 3, Events: []trace.Event{
+		{T: 0, Seq: 1}, {T: 0, Seq: 2}, {T: 7, Seq: 3}}}
+	if vs := CheckTrace(run); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}
+
+// Broken global packet accounting must fail conservation-total, and a
+// leaky link direction conservation-link, each with the imbalance in
+// the detail.
+func TestCheckConservationBroken(t *testing.T) {
+	total := netsim.NetStats{PacketsOriginated: 100, PacketsDelivered: 90,
+		PacketsDropped: 4, PacketsLost: 3} // 3 packets vanish
+	dirs := []netsim.DirectionStats{
+		{From: "a", To: "b", Enqueued: 50, Sent: 50},
+		{From: "b", To: "a", Enqueued: 50, Sent: 44, Dropped: 2, Queued: 3}, // 1 vanishes
+	}
+	vs := CheckConservation(total, dirs)
+	wantProp(t, vs, PropConservationTotal)
+	wantProp(t, vs, PropConservationLink)
+	if len(vs) != 2 {
+		t.Fatalf("want exactly two violations, got %v", propNames(vs))
+	}
+	for _, v := range vs {
+		if v.Property == PropConservationLink && !strings.Contains(v.Detail, "b->a") {
+			t.Fatalf("link violation does not name the direction: %s", v.Detail)
+		}
+	}
+	if vs := CheckConservation(netsim.NetStats{PacketsOriginated: 10, PacketsDelivered: 10},
+		[]netsim.DirectionStats{{Enqueued: 10, Sent: 10}}); len(vs) != 0 {
+		t.Fatalf("balanced stats flagged: %v", vs)
+	}
+}
+
+// Retry accounting from the trace: too many attempts, an attempt with
+// no terminal outcome, and disagreement with the report all fail
+// retry-termination.
+func TestCheckRetryTermination(t *testing.T) {
+	retry := &scenario.RetrySpec{MaxAttempts: 2}
+	ev := func(name string) trace.Event {
+		return trace.Event{Cat: trace.CatGlobus, Name: name}
+	}
+	// Happy path: one failed attempt, then success.
+	good := trace.Run{Events: []trace.Event{
+		ev("attempt"), ev("attempt-fail"), ev("backoff"), ev("attempt"), ev("job-ok")}}
+	if vs := CheckRetryTermination(good, retry, 2); len(vs) != 0 {
+		t.Fatalf("lawful retry flagged: %v", vs)
+	}
+	over := trace.Run{Events: []trace.Event{
+		ev("attempt"), ev("attempt-fail"), ev("attempt"), ev("attempt-fail"),
+		ev("attempt"), ev("job-ok")}}
+	wantProp(t, CheckRetryTermination(over, retry, 3), PropRetryTermination)
+	hung := trace.Run{Events: []trace.Event{ev("attempt")}}
+	wantProp(t, CheckRetryTermination(hung, retry, 1), PropRetryTermination)
+	wantProp(t, CheckRetryTermination(good, retry, 5), PropRetryTermination)
+}
+
+// Plain-client termination: a submit with no later terminal job-state
+// fails retry-termination.
+func TestCheckPlainTermination(t *testing.T) {
+	run := trace.Run{Events: []trace.Event{
+		{Cat: trace.CatGlobus, Name: "submit", Host: "gk0", T: 1},
+		{Cat: trace.CatGlobus, Name: "submit", Host: "gk1", T: 1},
+		{Cat: trace.CatGlobus, Name: "job-state", Host: "gk0", Detail: "DONE", T: 9},
+		{Cat: trace.CatGlobus, Name: "job-state", Host: "gk1", Detail: "ACTIVE", T: 9},
+	}}
+	vs := CheckRetryTermination(run, nil, 0)
+	wantProp(t, vs, PropRetryTermination)
+	for _, v := range vs {
+		if !strings.Contains(v.Detail, "gk1") {
+			t.Fatalf("violation does not name the hung gatekeeper: %s", v.Detail)
+		}
+	}
+}
+
+// Chaos bounds: a firing outside the jitter window, a scheduled event
+// that never fired, and a firing with no schedule at all each fail
+// chaos-bounds; a lawful timeline (including flap phases) passes.
+func TestCheckChaosBounds(t *testing.T) {
+	ms := simcore.Millisecond
+	sched := &chaos.Schedule{Name: "s", Events: []chaos.Event{
+		{Kind: chaos.HostCrash, Host: "h0", At: simcore.Time(10 * ms), For: 20 * ms},
+		{Kind: chaos.LinkFlap, A: "a", B: "b", At: simcore.Time(50 * ms),
+			Down: 5 * ms, Up: 5 * ms, Count: 2, Jitter: 2 * ms},
+	}}
+	lawful := []chaos.TimelineEntry{
+		{At: simcore.Time(10 * ms), Action: "crash", Target: "h0"},
+		{At: simcore.Time(30 * ms), Action: "reboot", Target: "h0"},
+		{At: simcore.Time(49 * ms), Action: "linkdown", Target: "a–b", Detail: "flap"},
+		{At: simcore.Time(54 * ms), Action: "linkup", Target: "a–b", Detail: "flap"},
+		{At: simcore.Time(59 * ms), Action: "linkdown", Target: "a–b", Detail: "flap"},
+		{At: simcore.Time(64 * ms), Action: "linkup", Target: "a–b", Detail: "flap"},
+	}
+	if vs := CheckChaosBounds(sched, lawful); len(vs) != 0 {
+		t.Fatalf("lawful timeline flagged: %v", vs)
+	}
+	// Crash fires 5ms late with zero jitter allowance.
+	late := append([]chaos.TimelineEntry{}, lawful...)
+	late[0].At = simcore.Time(15 * ms)
+	vs := CheckChaosBounds(sched, late)
+	wantProp(t, vs, PropChaosBounds)
+	// Reboot never fires.
+	missing := append([]chaos.TimelineEntry{}, lawful[:1]...)
+	missing = append(missing, lawful[2:]...)
+	wantProp(t, CheckChaosBounds(sched, missing), PropChaosBounds)
+	// Firings without any schedule.
+	wantProp(t, CheckChaosBounds(nil, lawful[:1]), PropChaosBounds)
+	if vs := CheckChaosBounds(nil, nil); len(vs) != 0 {
+		t.Fatalf("empty timeline without schedule flagged: %v", vs)
+	}
+}
+
+// Flow-vs-packet agreement: inside either bound passes, outside both
+// fails with the named property.
+func TestCheckEnvelope(t *testing.T) {
+	if vs := CheckEnvelope(0.100, 0.120); len(vs) != 0 { // within 35%
+		t.Fatalf("in-envelope pair flagged: %v", vs)
+	}
+	if vs := CheckEnvelope(0.010, 0.030); len(vs) != 0 { // within 25ms absolute
+		t.Fatalf("small absolute difference flagged: %v", vs)
+	}
+	vs := CheckEnvelope(0.100, 0.200) // 100ms and 100% off
+	wantProp(t, vs, PropFlowEnvelope)
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -24,6 +25,20 @@ func FuzzParse(f *testing.F) {
 	f.Add("scenario s\ntarget procs=1 cpu=1\nengine serial\n")
 	f.Add("scenario pa\ntarget procs=4 cpu=533\nengine parallel shards=2\npartition auto\n")
 	f.Add("scenario pm\ntarget procs=4 cpu=533\nengine parallel shards=2\npartition map ucsd-gw=0 sdsc-gw=1\n")
+	// Committed scengen output: many-cluster topologies, randomized
+	// workloads, chaos schedules and engine draws the hand-written seeds
+	// above never reach (regenerate with internal/scengen).
+	generated, err := filepath.Glob(filepath.Join("testdata", "generated", "*.scenario"))
+	if err != nil || len(generated) == 0 {
+		f.Fatalf("no generated corpus: %v", err)
+	}
+	for _, path := range generated {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
 	f.Fuzz(func(t *testing.T, text string) {
 		s1, err := ParseString(text)
 		if err != nil {

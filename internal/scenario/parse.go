@@ -84,6 +84,7 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	s := &Scenario{}
 	lineNo := 0
+	chaosLine := 0
 	fail := func(token, format string, args ...any) error {
 		return &ParseError{File: name, Line: lineNo, Token: token, Msg: fmt.Sprintf(format, args...)}
 	}
@@ -311,6 +312,7 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 			if len(fields) != 1 {
 				return nil, fail(fields[1], "the schedule name goes inside the section ('chaos' opens it)")
 			}
+			chaosLine = lineNo
 			body, first, err := section("chaos")
 			if err != nil {
 				return nil, err
@@ -329,6 +331,12 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 	}
 	if s.Name == "" {
 		return nil, fmt.Errorf("scenario: %s: empty input (want 'scenario <name>')", name)
+	}
+	// Chaos-target errors point at the chaos section rather than the
+	// whole file; Validate repeats the check for programmatic scenarios.
+	if err := s.validateChaosTargets(); err != nil {
+		lineNo = chaosLine
+		return nil, fail("", "%v", err)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: %s: %v", name, err)

@@ -249,8 +249,22 @@ func (s *Scenario) Validate() error {
 		!finite(s.PerByteOps) || s.PerByteOps < 0 {
 		return fmt.Errorf("msgcost values must be non-negative finite numbers")
 	}
-	if s.Topology != nil && len(s.HostRanks) == 0 {
-		return fmt.Errorf("a custom topology needs a ranks line")
+	if s.Topology != nil {
+		if len(s.HostRanks) == 0 {
+			return fmt.Errorf("a custom topology needs a ranks line")
+		}
+		if err := s.Topology.Validate(); err != nil {
+			return err
+		}
+		declared := map[string]bool{}
+		for _, h := range s.Topology.Hosts {
+			declared[h.Name] = true
+		}
+		for _, r := range s.HostRanks {
+			if !declared[r] {
+				return fmt.Errorf("ranks names %q, absent from topology", r)
+			}
+		}
 	}
 	if s.Topology == nil && len(s.HostRanks) > 0 {
 		return fmt.Errorf("ranks needs a topology section")
@@ -276,6 +290,57 @@ func (s *Scenario) Validate() error {
 	if s.Chaos != nil {
 		if err := s.Chaos.Validate(); err != nil {
 			return err
+		}
+		if err := s.validateChaosTargets(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateChaosTargets cross-checks chaos events against the virtual
+// grid the scenario itself declares: host faults must name a rank host
+// (custom topology) or a vmN host (switched LAN), link faults a
+// declared topology link (a LAN joins each vmN to the implicit
+// "lan-switch"). GIS-defined grids are resolved at load time, so their
+// targets remain an arm-time check.
+func (s *Scenario) validateChaosTargets() error {
+	if s.Chaos == nil || s.GIS != nil {
+		return nil
+	}
+	hosts := map[string]bool{}
+	links := map[[2]string]bool{}
+	addLink := func(a, b string) {
+		links[[2]string{a, b}] = true
+		links[[2]string{b, a}] = true
+	}
+	if s.Topology != nil {
+		for _, r := range s.HostRanks {
+			hosts[r] = true
+		}
+		for _, l := range s.Topology.Links {
+			addLink(l.A, l.B)
+		}
+	} else {
+		if s.Target == nil {
+			return nil
+		}
+		for i := 0; i < s.Target.Procs; i++ {
+			h := fmt.Sprintf("vm%d", i)
+			hosts[h] = true
+			addLink(h, "lan-switch")
+		}
+	}
+	for i, e := range s.Chaos.Events {
+		switch e.Kind {
+		case chaos.HostCrash, chaos.CPULoad, chaos.MemPressure:
+			if !hosts[e.Host] {
+				return fmt.Errorf("chaos event %d (%s) targets undeclared host %q", i, e.Kind, e.Host)
+			}
+		case chaos.LinkDown, chaos.LinkFlap, chaos.LinkDegrade:
+			if !links[[2]string{e.A, e.B}] {
+				return fmt.Errorf("chaos event %d (%s) targets undeclared link %q <-> %q", i, e.Kind, e.A, e.B)
+			}
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -15,6 +17,19 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("link a b 622Mbps 28ms queue=512KBytes loss=0.001\n")
 	f.Add("host h 10.0.0.1\nlink h h 0.125Mbps 1h queue=3Bytes loss=1\n")
 	f.Add("# comment\n\ntopology x\n")
+	// Committed scengen output: star-of-clusters and fat-tree families
+	// at realistic scale (regenerate with internal/scengen).
+	generated, err := filepath.Glob(filepath.Join("testdata", "generated", "*.topo"))
+	if err != nil || len(generated) == 0 {
+		f.Fatalf("no generated corpus: %v", err)
+	}
+	for _, path := range generated {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
 	f.Fuzz(func(t *testing.T, text string) {
 		s1, err := ParseSpec(strings.NewReader(text))
 		if err != nil {

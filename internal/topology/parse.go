@@ -70,6 +70,19 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 	fail := func(token, format string, args ...any) (*Spec, error) {
 		return nil, &ParseError{File: name, Line: lineNo, Token: token, Msg: fmt.Sprintf(format, args...)}
 	}
+	// Node and address declarations by line, for positioned duplicate and
+	// unknown-endpoint errors; linkLines remembers where each link was
+	// declared so endpoint resolution at EOF can still point at a line.
+	decl := map[string]int{}
+	addrs := map[string]int{}
+	var linkLines []int
+	declare := func(nodeName string) (*Spec, error) {
+		if prev, dup := decl[nodeName]; dup {
+			return fail(nodeName, "duplicate node name %q (first declared on line %d)", nodeName, prev)
+		}
+		decl[nodeName] = lineNo
+		return nil, nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -87,10 +100,20 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 			if len(fields) != 3 {
 				return fail(fields[0], "want 'host <name> <addr>'")
 			}
+			if s, err := declare(fields[1]); err != nil {
+				return s, err
+			}
+			if prev, dup := addrs[fields[2]]; dup {
+				return fail(fields[2], "duplicate host address %q (first used on line %d)", fields[2], prev)
+			}
+			addrs[fields[2]] = lineNo
 			spec.Hosts = append(spec.Hosts, HostSpec{Name: fields[1], Addr: fields[2]})
 		case "router":
 			if len(fields) != 2 {
 				return fail(fields[0], "want 'router <name>'")
+			}
+			if s, err := declare(fields[1]); err != nil {
+				return s, err
 			}
 			spec.Routers = append(spec.Routers, fields[1])
 		case "link":
@@ -105,7 +128,11 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 			if err != nil {
 				return fail(fields[4], "bad delay: %v", err)
 			}
+			if fields[1] == fields[2] {
+				return fail(fields[1], "self-link %q <-> %q", fields[1], fields[2])
+			}
 			l := LinkSpec{A: fields[1], B: fields[2], BandwidthBps: bw, Delay: delay}
+			linkLines = append(linkLines, lineNo)
 			for _, opt := range fields[5:] {
 				k, v, ok := strings.Cut(opt, "=")
 				if !ok {
@@ -135,6 +162,16 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// Links may reference nodes declared later in the file, so endpoint
+	// resolution waits for EOF; linkLines keeps the errors positioned.
+	for i, l := range spec.Links {
+		lineNo = linkLines[i]
+		for _, end := range []string{l.A, l.B} {
+			if _, ok := decl[end]; !ok {
+				return fail(end, "link endpoint %q is not a declared host or router", end)
+			}
+		}
 	}
 	return spec, nil
 }

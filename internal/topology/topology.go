@@ -38,6 +38,45 @@ type LinkSpec struct {
 	LossProb     float64
 }
 
+// Validate checks structural invariants that hold independently of any
+// Network: unique node names, unique host addresses, no self-links, and
+// every link endpoint declared as a host or router. ParseSpec enforces
+// the same rules with positioned errors; Validate covers specs built
+// programmatically (or mutated after parse).
+func (s *Spec) Validate() error {
+	decl := map[string]bool{}
+	for _, h := range s.Hosts {
+		if decl[h.Name] {
+			return fmt.Errorf("topology %s: duplicate node name %q", s.Name, h.Name)
+		}
+		decl[h.Name] = true
+	}
+	addrs := map[string]bool{}
+	for _, h := range s.Hosts {
+		if addrs[h.Addr] {
+			return fmt.Errorf("topology %s: duplicate host address %q", s.Name, h.Addr)
+		}
+		addrs[h.Addr] = true
+	}
+	for _, r := range s.Routers {
+		if decl[r] {
+			return fmt.Errorf("topology %s: duplicate node name %q", s.Name, r)
+		}
+		decl[r] = true
+	}
+	for _, l := range s.Links {
+		if l.A == l.B {
+			return fmt.Errorf("topology %s: self-link %q <-> %q", s.Name, l.A, l.B)
+		}
+		for _, end := range []string{l.A, l.B} {
+			if !decl[end] {
+				return fmt.Errorf("topology %s: link endpoint %q is not a declared host or router", s.Name, end)
+			}
+		}
+	}
+	return nil
+}
+
 // Build instantiates the spec on a fresh Network bound to eng.
 func (s *Spec) Build(eng *simcore.Engine) (*netsim.Network, error) {
 	nw := netsim.New(eng)
