@@ -17,12 +17,15 @@ package microgrid
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"microgrid/internal/core"
 	"microgrid/internal/cpusched"
 	"microgrid/internal/netsim"
+	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
 	"microgrid/internal/trace"
@@ -499,6 +502,48 @@ func BenchmarkPartitionedFig14(b *testing.B) {
 			benchPartitionedFig14(b, shards)
 		})
 	}
+}
+
+// BenchmarkScale100k pins the scalable resource model's economics:
+// build and run the committed 100k-host example (a generated star grid,
+// flow-fidelity wide area, NPB MG on an 8-rank working set) and report
+// allocated bytes per DECLARED host. Laziness is the whole claim —
+// untouched declarations must cost a few hundred bytes (a HostConfig,
+// a netsim node, an address map entry), not a scheduler, gatekeeper
+// daemon, and GIS row each — so CI holds bytes/host under an absolute
+// ceiling (cmd/benchjson -ceiling), which a regression to eager
+// materialization would blow past by orders of magnitude.
+func BenchmarkScale100k(b *testing.B) {
+	data, err := os.ReadFile("examples/scale-100k/scale100k.scenario")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := scenario.ParseString(string(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytesPerHost, live float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		m, err := core.BuildScenarioEnv(s, core.ScenarioEnv{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.RunWorkload(s); err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		declared := m.Grid.DeclaredHosts()
+		if declared < 100000 {
+			b.Fatalf("example declares %d hosts, want >= 100000", declared)
+		}
+		bytesPerHost = float64(after.TotalAlloc-before.TotalAlloc) / float64(declared)
+		live = float64(m.Grid.MaterializedCount())
+	}
+	b.ReportMetric(bytesPerHost, "bytes/host")
+	b.ReportMetric(live, "hosts_live")
 }
 
 // BenchmarkProcContextSwitch measures process park/resume cost.

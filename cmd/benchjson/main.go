@@ -23,6 +23,13 @@
 //	    -serial 'BenchmarkPartitionedFig14/serial' \
 //	    -parallel 'BenchmarkPartitionedFig14/shards=4' \
 //	    -metric events/s -min-ratio 1.5 -min-procs 4
+//
+// Ceiling gate (exit 1 when a benchmark's custom metric exceeds an
+// absolute limit — machine-independent budgets like bytes per declared
+// host):
+//
+//	go run ./cmd/benchjson -ceiling BENCH_10.new.json \
+//	    -bench BenchmarkScale100k -metric bytes/host -limit 8192
 package main
 
 import (
@@ -43,6 +50,9 @@ func main() {
 	threshold := flag.Float64("threshold", 20, "ns/op regression threshold in percent for -compare")
 	sameProcs := flag.Bool("same-procs", false, "skip -compare when the artifacts' CPU counts differ")
 	speedup := flag.String("speedup", "", "JSON artifact to check a parallel-vs-serial speedup ratio in")
+	ceiling := flag.String("ceiling", "", "JSON artifact to check an absolute metric ceiling in")
+	bench := flag.String("bench", "", "benchmark name for -ceiling")
+	limit := flag.Float64("limit", 0, "upper bound on -metric for -ceiling")
 	serial := flag.String("serial", "", "serial benchmark name for -speedup")
 	parallel := flag.String("parallel", "", "parallel benchmark name for -speedup")
 	metric := flag.String("metric", "", "higher-is-better metric for -speedup (empty = ns/op ratio)")
@@ -87,6 +97,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: speedup %.2fx below the %.2fx floor\n", ratio, *minRatio)
 			os.Exit(1)
 		}
+	case *ceiling != "":
+		f, err := benchjson.ReadFile(*ceiling)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchjson.Ceiling(f, *bench, *metric, *limit); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ok: %s %s within the %g ceiling\n", *bench, *metric, *limit)
 	case *compare != "":
 		parts := strings.Split(*compare, ",")
 		if len(parts) != 2 {

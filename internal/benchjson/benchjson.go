@@ -205,6 +205,27 @@ func Speedup(f File, serial, parallel, metric string) (float64, error) {
 	return s.NsPerOp / p.NsPerOp, nil
 }
 
+// Ceiling checks an absolute upper bound on one benchmark's custom
+// metric — for machine-independent budgets like allocated bytes per
+// declared host, where a relative ns/op comparison would miss a
+// regression that lands on a faster runner.
+func Ceiling(f File, bench, metric string, limit float64) error {
+	for _, r := range f.Results {
+		if r.Name != bench {
+			continue
+		}
+		v, ok := r.Metrics[metric]
+		if !ok {
+			return fmt.Errorf("benchjson: %s reports no %q metric", bench, metric)
+		}
+		if v > limit {
+			return fmt.Errorf("benchjson: %s %s = %g exceeds the ceiling %g", bench, metric, v, limit)
+		}
+		return nil
+	}
+	return fmt.Errorf("benchjson: benchmark %q not in artifact", bench)
+}
+
 // Delta is one benchmark's old-vs-new comparison.
 type Delta struct {
 	Name     string

@@ -109,6 +109,25 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
+func TestCeiling(t *testing.T) {
+	f := File{Results: []Result{
+		{Name: "BenchmarkScale", Metrics: map[string]float64{"bytes/host": 3300}},
+		{Name: "BenchmarkBare"},
+	}}
+	if err := Ceiling(f, "BenchmarkScale", "bytes/host", 8192); err != nil {
+		t.Errorf("in-budget metric flagged: %v", err)
+	}
+	if err := Ceiling(f, "BenchmarkScale", "bytes/host", 1024); err == nil {
+		t.Error("over-ceiling metric not flagged")
+	}
+	if err := Ceiling(f, "BenchmarkScale", "hosts_live", 10); err == nil {
+		t.Error("missing metric not flagged")
+	}
+	if err := Ceiling(f, "BenchmarkGone", "bytes/host", 10); err == nil {
+		t.Error("missing benchmark not flagged")
+	}
+}
+
 func TestCompare(t *testing.T) {
 	old := []Result{
 		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},

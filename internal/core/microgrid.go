@@ -39,6 +39,12 @@ type BuildConfig struct {
 	// hosts are the virtual hosts, in rank order.
 	Topo      *topology.Spec
 	HostRanks []string
+	// TopoGen, when non-nil, generates the topology from a seeded spec
+	// (see topology.Generate) instead of Topo/HostRanks: every generated
+	// host becomes a virtual host, in generation order, and the build
+	// materializes host state lazily so a 100k-host declaration costs
+	// only its working set. Mutually exclusive with Topo.
+	TopoGen *topology.GenSpec
 	// SendOverheadOps / PerByteOps tune the per-message CPU model.
 	SendOverheadOps, PerByteOps float64
 	// StaggerSpread de-synchronizes the hosts' scheduler daemons by this
@@ -84,7 +90,14 @@ type MicroGrid struct {
 	ran         bool
 	gkMu        sync.Mutex
 	gatekeepers map[string]*globus.Gatekeeper
-	injector    *chaos.Injector
+	// lazy marks a grid whose hosts (and their gatekeepers/GIS records)
+	// materialize on first touch; RunApp brings up its working set via
+	// EnsureHost before submitting. ensured tracks which hosts have had
+	// their middleware started (distinct from virtual-layer
+	// materialization: wireGISHome touches Hosts[0] without it).
+	lazy     bool
+	ensured  map[string]bool
+	injector *chaos.Injector
 	// driver executes the simulation: the serial engine itself, or the
 	// parallel engine coordinating Eng (= its shard 0) and its peers.
 	driver simcore.Sim
@@ -178,17 +191,39 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		configName += " (emulated)"
 	}
 
+	// Topology: explicit spec, generated spec, or the default LAN.
+	topo := cfg.Topo
+	generated := false
+	if cfg.TopoGen != nil {
+		if topo != nil {
+			return nil, fmt.Errorf("core: TopoGen and Topo are mutually exclusive")
+		}
+		spec, err := topology.Generate(*cfg.TopoGen)
+		if err != nil {
+			return nil, err
+		}
+		topo = spec
+		generated = true
+	}
+
 	// Virtual host set.
 	var hostNames []string
 	var hostCfgs []virtual.HostConfig
 	base := netsim.MustParseAddr("1.11.11.1")
-	if cfg.Topo != nil {
-		if len(cfg.HostRanks) == 0 {
+	if topo != nil {
+		if generated {
+			// Every generated host is a virtual host, in generation order
+			// (clusters front-loaded, so a small working set stays local).
+			for _, h := range topo.Hosts {
+				hostNames = append(hostNames, h.Name)
+			}
+		} else if len(cfg.HostRanks) == 0 {
 			return nil, fmt.Errorf("core: custom topology requires HostRanks")
+		} else {
+			hostNames = append(hostNames, cfg.HostRanks...)
 		}
-		hostNames = append(hostNames, cfg.HostRanks...)
 		byName := map[string]string{}
-		for _, h := range cfg.Topo.Hosts {
+		for _, h := range topo.Hosts {
 			byName[h.Name] = h.Addr
 		}
 		for _, name := range hostNames {
@@ -218,6 +253,13 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		}
 	}
 
+	// Lazy materialization keeps a declared-but-untouched host down to
+	// its netsim node: generated topologies always (their host counts
+	// are the point), hand-written grids past a threshold no committed
+	// scenario reaches (so small grids keep their historical build path
+	// bit-for-bit).
+	lazy := cfg.Emulation == nil && (generated || len(hostCfgs) >= lazyHostThreshold)
+
 	// Physical platform and mapping.
 	vcfg := virtual.Config{
 		Hosts:           hostCfgs,
@@ -226,6 +268,7 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		PerByteOps:      cfg.PerByteOps,
 		StaggerSpread:   cfg.StaggerSpread,
 		FlowNetwork:     cfg.FlowNetwork,
+		Lazy:            lazy,
 	}
 	if cfg.Emulation == nil {
 		vcfg.Direct = true
@@ -252,8 +295,8 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 
 	// Topology wiring.
 	wire := virtual.LANWire(hostCfgs, cfg.Target.NetBandwidthBps, cfg.Target.NetPerSideDelay)
-	if cfg.Topo != nil {
-		spec := cfg.Topo
+	if topo != nil {
+		spec := topo
 		wire = func(nw *netsim.Network, scale func(netsim.LinkConfig) netsim.LinkConfig) error {
 			return spec.Apply(nw, scale)
 		}
@@ -295,6 +338,8 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 		ConfigName:  configName,
 		cfg:         cfg,
 		gatekeepers: make(map[string]*globus.Gatekeeper),
+		lazy:        lazy,
+		ensured:     make(map[string]bool),
 		driver:      driver,
 		par:         par,
 		plan:        plan,
@@ -302,13 +347,17 @@ func Build(cfg BuildConfig) (*MicroGrid, error) {
 	m.wireGISHome()
 
 	// Globus: a gatekeeper on every virtual host, registered in the GIS.
-	for _, name := range hostNames {
-		gk, err := globus.StartGatekeeper(grid.Host(name), 0, m.Registry)
-		if err != nil {
-			return nil, err
+	// A lazy grid defers this to EnsureHost — RunApp brings up exactly
+	// its working set before submitting.
+	if !lazy {
+		for _, name := range hostNames {
+			gk, err := globus.StartGatekeeper(grid.Host(name), 0, m.Registry)
+			if err != nil {
+				return nil, err
+			}
+			gk.RegisterInGIS(m.GIS, OrgUnit, configName, grid.Host(name).Phys.Name)
+			m.gatekeepers[name] = gk
 		}
-		gk.RegisterInGIS(m.GIS, OrgUnit, configName, grid.Host(name).Phys.Name)
-		m.gatekeepers[name] = gk
 	}
 	// Network record(s), in the paper's Fig. 3 style.
 	netRec := gis.VirtualNetwork{
@@ -377,6 +426,48 @@ func (m *MicroGrid) putGatekeeper(name string, gk *globus.Gatekeeper) {
 	m.gkMu.Lock()
 	defer m.gkMu.Unlock()
 	m.gatekeepers[name] = gk
+}
+
+// lazyHostThreshold is the declared-host count past which a
+// hand-written direct-mode grid builds lazily. Committed scenarios are
+// orders of magnitude smaller, so their build path is unchanged.
+const lazyHostThreshold = 4096
+
+// LazyHosts reports whether this grid materializes hosts on first
+// touch.
+func (m *MicroGrid) LazyHosts() bool { return m.lazy }
+
+// EnsureHost materializes a declared host and its middleware — the
+// virtual host runtime, a gatekeeper, and the host's GIS record. On an
+// eager grid (or an already-ensured host) it is a no-op. RunApp calls
+// it for every host in the job's working set before submitting.
+func (m *MicroGrid) EnsureHost(name string) error {
+	if !m.lazy {
+		return nil
+	}
+	if m.ensured[name] {
+		return nil
+	}
+	h := m.Grid.Host(name)
+	if h == nil {
+		return fmt.Errorf("core: unknown virtual host %q", name)
+	}
+	gk, err := globus.StartGatekeeper(h, 0, m.Registry)
+	if err != nil {
+		return err
+	}
+	gk.RegisterInGIS(m.GIS, OrgUnit, m.ConfigName, h.Phys.Name)
+	m.putGatekeeper(name, gk)
+	m.ensured[name] = true
+	return nil
+}
+
+// registeredHostCount reports how many hosts currently hold a
+// gatekeeper (on a lazy grid: the materialized working set).
+func (m *MicroGrid) registeredHostCount() int {
+	m.gkMu.Lock()
+	defer m.gkMu.Unlock()
+	return len(m.gatekeepers)
 }
 
 // Rate returns the grid's simulation rate.

@@ -9,6 +9,7 @@ import (
 	"microgrid/internal/netsim"
 	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
+	"microgrid/internal/topology"
 )
 
 // PartitionConfig places the grid model across PDES shards, one cluster
@@ -168,10 +169,18 @@ func ParsePartitionFlag(v string) (*PartitionConfig, error) {
 func PartitionPreview(s *scenario.Scenario) (map[string]int, simcore.Duration, int, error) {
 	shards := resolveShards(s.EngineShards)
 	pc := resolvePartition(partitionConfig(s.Partition))
-	if shards < 1 || pc == nil || s.Topology == nil {
+	topo := s.Topology
+	if topo == nil && s.TopoGen != nil {
+		spec, err := topology.Generate(*s.TopoGen)
+		if err != nil {
+			return nil, 0, shards, err
+		}
+		topo = spec
+	}
+	if shards < 1 || pc == nil || topo == nil {
 		return nil, 0, shards, nil
 	}
-	nw, err := s.Topology.Build(simcore.NewSerialEngine(s.Seed).Engine)
+	nw, err := topo.Build(simcore.NewSerialEngine(s.Seed).Engine)
 	if err != nil {
 		return nil, 0, shards, err
 	}

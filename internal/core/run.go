@@ -99,6 +99,21 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	for i := range rankHosts {
 		rankHosts[i] = m.Hosts[i%len(m.Hosts)]
 	}
+	if m.lazy {
+		// Bring up exactly the job's working set: a 100k-host declaration
+		// with a 256-rank job materializes (and registers in the GIS) 256
+		// hosts. Happens before the engine runs, so it is deterministic
+		// at any shard count.
+		ensured := make(map[string]bool, len(rankHosts))
+		for _, hn := range rankHosts {
+			if !ensured[hn] {
+				ensured[hn] = true
+				if err := m.EnsureHost(hn); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	col := autopilot.NewCollector(m.Eng, m.Grid.Clock())
 	report := &Report{
 		Name:    name,
@@ -155,6 +170,13 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 		}
 	}
 
+	// On a lazy grid the GIS holds only the working set registered
+	// above; discovery must agree with that, not the declared count.
+	wantHosts := len(m.Hosts)
+	if m.lazy {
+		wantHosts = m.registeredHostCount()
+	}
+
 	var submitErr error
 	client, err := m.Grid.Host(m.Hosts[0]).Spawn("globus-client", func(p *virtual.Process) {
 		defer col.Stop()
@@ -181,8 +203,8 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 			}
 		} else {
 			hosts := globus.DiscoverHosts(m.GIS, m.ConfigName)
-			if len(hosts) != len(m.Hosts) {
-				submitErr = fmt.Errorf("core: GIS discovery found %d hosts, want %d", len(hosts), len(m.Hosts))
+			if len(hosts) != wantHosts {
+				submitErr = fmt.Errorf("core: GIS discovery found %d hosts, want %d", len(hosts), wantHosts)
 				return
 			}
 			mj, err := cl.SubmitMPIJob(m.GIS, name, rankHosts, opts.BasePort)
@@ -221,7 +243,13 @@ func (m *MicroGrid) RunApp(name string, fn func(ctx *AppContext) error, opts Run
 	report.HostUtilization = make(map[string]float64)
 	seen := map[string]bool{}
 	for _, name := range m.Hosts {
-		p := m.Grid.Host(name).Phys
+		// Untouched hosts on a lazy grid have no physical machine and
+		// consumed nothing; reporting sweeps only the materialized set.
+		h := m.Grid.Materialized(name)
+		if h == nil {
+			continue
+		}
+		p := h.Phys
 		if !seen[p.Name] {
 			seen[p.Name] = true
 			report.HostUtilization[p.Name] = p.Utilization()

@@ -118,6 +118,7 @@ func scenarioFromBuild(cfg BuildConfig) *scenario.Scenario {
 		SendOverheadOps: cfg.SendOverheadOps,
 		PerByteOps:      cfg.PerByteOps,
 		Topology:        cfg.Topo,
+		TopoGen:         cfg.TopoGen,
 		HostRanks:       cfg.HostRanks,
 	}
 	if cfg.Emulation != nil {
@@ -138,6 +139,7 @@ func buildConfig(s *scenario.Scenario) BuildConfig {
 		Rate:            s.Rate,
 		Quantum:         s.Quantum,
 		Topo:            s.Topology,
+		TopoGen:         s.TopoGen,
 		HostRanks:       s.HostRanks,
 		SendOverheadOps: s.SendOverheadOps,
 		PerByteOps:      s.PerByteOps,

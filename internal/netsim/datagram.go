@@ -13,6 +13,9 @@ type DatagramHandler func(src Addr, srcPort Port, size int, payload any)
 
 // HandleDatagrams registers h for datagrams addressed to port.
 func (n *Node) HandleDatagrams(port Port, h DatagramHandler) {
+	if n.handlers == nil {
+		n.handlers = make(map[Port]DatagramHandler)
+	}
 	n.handlers[port] = h
 }
 

@@ -33,7 +33,7 @@ func (l *Link) SetDown(down bool) {
 		}
 		rec.Event(trace.CatLink, name, trace.Attr{Link: l.ab.name})
 	}
-	nw.ComputeRoutes()
+	nw.invalidateRoutes()
 }
 
 // Down reports the link's failure state.
@@ -119,7 +119,10 @@ func (l *Link) applyConfig(cfg LinkConfig) {
 	l.Config = cfg
 	l.ab.cfg = cfg
 	l.ba.cfg = cfg
-	l.A.net.ComputeRoutes()
+	// Route costs changed; stale tables rebuild lazily. Cluster structure
+	// is pinned at ComputeRoutes time, so a degraded LAN link does not
+	// reshuffle clusters mid-run.
+	l.A.net.invalidateRoutes()
 }
 
 // SetCrashed fails or restores a node. While crashed, the node drops

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"microgrid/internal/simcore"
+	"microgrid/internal/trace"
 )
 
 // Flow mode is the fast/low-fidelity end of the paper's future-work axis
@@ -20,11 +21,83 @@ import (
 // are preserved.
 
 // SetFlowMode switches the data path between packet-level (false, the
-// default) and analytic flow-level (true). Set it before traffic flows.
+// default) and analytic flow-level (true) for every connection,
+// regardless of per-link fidelity. Set it before traffic flows.
 func (n *Network) SetFlowMode(on bool) { n.flowMode = on }
 
 // FlowMode reports the current mode.
 func (n *Network) FlowMode() bool { return n.flowMode }
+
+// connFlow reports whether this connection's data transfers complete
+// analytically: globally forced by SetFlowMode, or — with per-link
+// fidelity — because every link on the path to the peer is FidelityFlow.
+// The path check is cached on first use, like flowDelay.
+func (c *Conn) connFlow() bool {
+	if c.node.net.flowMode {
+		return true
+	}
+	if c.flowPath == 0 {
+		dst := c.node.net.NodeByAddr(c.key.remote)
+		if c.node.net.PathAllFlow(c.node, dst) {
+			c.flowPath = 1
+		} else {
+			c.flowPath = -1
+		}
+	}
+	return c.flowPath == 1
+}
+
+// flowTransmit is the per-channel analytic path for a FidelityFlow link:
+// the packet serializes at link bandwidth behind any transmission still
+// in progress (flowBusyUntil), then propagates after the link delay — no
+// queueing events, no drop-tail, no random loss. Sent/BytesSent count at
+// enqueue (mirroring the serializer), so the per-direction conservation
+// identity Enqueued = Sent + Dropped + Lost + Aborted + Queued holds with
+// Queued always zero. A link failure mid-flight (epoch bump) aborts the
+// packet on arrival, counted in the arrival shard's bucket exactly like
+// the packet path's propagation-leg abort.
+func (c *channel) flowTransmit(pkt *Packet) {
+	eng := c.src.eng
+	now := eng.Now()
+	tx := simcore.DurationOfSeconds(float64(pkt.Size) * 8 / c.cfg.BandwidthBps)
+	start := now
+	if c.flowBusyUntil > start {
+		start = c.flowBusyUntil
+	}
+	end := start.Add(tx)
+	c.flowBusyUntil = end
+	c.Sent++
+	c.BytesSent += int64(pkt.Size)
+	c.busyTime += tx
+	c.src.stats.PacketsSent++
+	if rec := eng.Recorder(); rec.Enabled(trace.CatNet) {
+		rec.Event(trace.CatNet, "flow-hop", trace.Attr{
+			Link: c.name, Bytes: int64(pkt.Size), Detail: pkt.Kind.String()})
+	}
+	epoch := c.epoch
+	arrival := end.Add(c.cfg.Delay).Sub(now)
+	if c.dst.eng != eng {
+		// Legal cross-shard send: arrival-now ≥ the link delay, which on
+		// an inter-cluster link is at least the engine lookahead.
+		eng.SendTo(c.dst.eng, arrival, func() {
+			if c.epoch != epoch {
+				c.dst.stats.PacketsAborted++
+				c.dst.freePacket(pkt)
+				return
+			}
+			c.dst.receive(pkt)
+		})
+	} else {
+		eng.After(arrival, func() {
+			if c.epoch != epoch {
+				c.src.stats.PacketsAborted++
+				c.src.freePacket(pkt)
+				return
+			}
+			c.dst.receive(pkt)
+		})
+	}
+}
 
 // flowSend delivers a message analytically. Called from Conn.Send when
 // flow mode is on, after establishment and buffer accounting.

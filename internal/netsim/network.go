@@ -33,6 +33,34 @@ type LinkConfig struct {
 	// LossProb drops each packet independently with this probability,
 	// for fault-injection tests.
 	LossProb float64
+	// Fidelity selects the link's simulation fidelity (FidelityPacket by
+	// default).
+	Fidelity Fidelity
+}
+
+// Fidelity selects how a link simulates transmission — the paper's
+// future-work axis "exploring a range of simulation speed and fidelity"
+// (§5), made a per-link choice so backbone links can run the analytic
+// flow model while campus LANs stay packet-level.
+type Fidelity uint8
+
+const (
+	// FidelityPacket simulates every packet through the drop-tail queue
+	// and serializer (the default).
+	FidelityPacket Fidelity = iota
+	// FidelityFlow transmits analytically: per-direction serialization at
+	// link bandwidth plus propagation delay, with no queueing events and
+	// no random loss. Conservation counters stay coherent (every enqueued
+	// packet is counted sent, dropped, or aborted).
+	FidelityFlow
+)
+
+// String returns the scenario-grammar spelling of f.
+func (f Fidelity) String() string {
+	if f == FidelityFlow {
+		return "flow"
+	}
+	return "packet"
 }
 
 // Network is a simulated internetwork. Nodes default to the network's
@@ -49,6 +77,10 @@ type Network struct {
 	nnodes   int32 // next compact node index (creation order, stable)
 	routed   bool
 	flowMode bool
+	// hier is the hierarchical routing state (see routing.go); routeEpoch
+	// invalidates lazily built tables on link state changes.
+	hier       *hier
+	routeEpoch int64
 	// Stats is the counter bucket for nodes on the default engine — the
 	// whole network in an unpartitioned run, so existing callers read it
 	// directly. engStats buckets nodes moved to other engines; TotalStats
@@ -190,11 +222,18 @@ type Node struct {
 	stats *NetStats
 	pool  *pktPool
 	// idx is the node's compact per-network index (creation order; stable
-	// across route recomputation), used to index routeTab slices.
-	idx        int32
-	Router     bool
-	ifaces     []*iface
-	routeTab   []*iface // destination node idx → outgoing channel (nil: unreachable)
+	// across route recomputation), used to index routing slices.
+	idx    int32
+	Router bool
+	ifaces []*iface
+	// localTab is the node's lazily built intra-cluster next-hop table,
+	// indexed by the destination's cluster-local index (see routing.go);
+	// tabEpoch records the routeEpoch it was built at. Nodes that never
+	// send or forward allocate no routing state.
+	localTab []*iface
+	tabEpoch int64
+	// Transport maps are nil until first use (reads of a nil map are
+	// safe), so declared-but-untouched hosts carry no endpoint state.
 	handlers   map[Port]DatagramHandler
 	listeners  map[Port]*Listener
 	conns      map[connKey]*Conn
@@ -254,18 +293,15 @@ func (n *Network) addNode(name string, addr Addr, router bool) *Node {
 		panic(fmt.Sprintf("netsim: duplicate address %v", addr))
 	}
 	nd := &Node{
-		net:       n,
-		Name:      name,
-		Addr:      addr,
-		eng:       n.eng,
-		stats:     &n.Stats,
-		pool:      &n.pool,
-		idx:       n.nnodes,
-		Router:    router,
-		handlers:  make(map[Port]DatagramHandler),
-		listeners: make(map[Port]*Listener),
-		conns:     make(map[connKey]*Conn),
-		nextPort:  49152,
+		net:      n,
+		Name:     name,
+		Addr:     addr,
+		eng:      n.eng,
+		stats:    &n.Stats,
+		pool:     &n.pool,
+		idx:      n.nnodes,
+		Router:   router,
+		nextPort: 49152,
 	}
 	n.nnodes++
 	n.nodes[name] = nd
@@ -340,68 +376,6 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 	return l
 }
 
-// ComputeRoutes builds static next-hop tables via Dijkstra shortest paths.
-// The per-link cost is its propagation delay plus a small per-hop penalty,
-// so equal-delay paths prefer fewer hops. It must be called after topology
-// changes and before traffic flows; transports call it lazily too.
-//
-// Each node's table is a dense slice indexed by the destination's compact
-// node index, so the per-hop forwarding lookup is a single slice load.
-// Working state is likewise indexed by node idx rather than hashed.
-func (n *Network) ComputeRoutes() {
-	nodes := n.Nodes()
-	const hopPenalty = simcore.Microsecond
-	size := int(n.nnodes)
-	dist := make([]simcore.Duration, size)
-	reached := make([]bool, size)
-	visited := make([]bool, size)
-	first := make([]*iface, size) // first-hop iface from src, by dest idx
-	for _, src := range nodes {
-		// Dijkstra from src.
-		for i := range dist {
-			dist[i], reached[i], visited[i], first[i] = 0, false, false, nil
-		}
-		reached[src.idx] = true
-		for {
-			// Extract the unvisited node with the smallest distance;
-			// iterate deterministically by name.
-			var u *Node
-			var best simcore.Duration
-			for _, cand := range nodes {
-				if visited[cand.idx] || !reached[cand.idx] {
-					continue
-				}
-				if d := dist[cand.idx]; u == nil || d < best || (d == best && cand.Name < u.Name) {
-					u, best = cand, d
-				}
-			}
-			if u == nil {
-				break
-			}
-			visited[u.idx] = true
-			for _, ifc := range u.ifaces {
-				if ifc.ch.down {
-					continue
-				}
-				v := ifc.ch.dst
-				cost := best + ifc.ch.cfg.Delay + hopPenalty
-				if !reached[v.idx] || cost < dist[v.idx] {
-					dist[v.idx], reached[v.idx] = cost, true
-					if u == src {
-						first[v.idx] = ifc
-					} else {
-						first[v.idx] = first[u.idx]
-					}
-				}
-			}
-		}
-		src.routeTab = make([]*iface, size)
-		copy(src.routeTab, first)
-		src.routeTab[src.idx] = nil // self is handled by the loopback path
-	}
-	n.routed = true
-}
-
 // PathDelay returns the summed propagation delay of the routed path from a
 // to b, and the hop count; ok is false if unreachable.
 func (n *Network) PathDelay(a, b *Node) (simcore.Duration, int, bool) {
@@ -412,7 +386,7 @@ func (n *Network) PathDelay(a, b *Node) (simcore.Duration, int, bool) {
 	hops := 0
 	cur := a
 	for cur != b {
-		ifc := cur.routeTab[b.idx]
+		ifc := n.nextHop(cur, b.idx)
 		if ifc == nil {
 			return 0, 0, false
 		}
@@ -440,7 +414,7 @@ func (n *Network) PathBottleneckBps(a, b *Node) (float64, bool) {
 	cur := a
 	hops := 0
 	for cur != b {
-		ifc := cur.routeTab[b.idx]
+		ifc := n.nextHop(cur, b.idx)
 		if ifc == nil {
 			return 0, false
 		}
@@ -454,6 +428,36 @@ func (n *Network) PathBottleneckBps(a, b *Node) (float64, bool) {
 		}
 	}
 	return bw, true
+}
+
+// PathAllFlow reports whether every link on the routed path from a to b
+// runs at flow fidelity — the condition under which a connection's data
+// transfers can complete analytically end to end. A loopback path has no
+// links and reports false (the packet loopback path is already cheap).
+func (n *Network) PathAllFlow(a, b *Node) bool {
+	if a == b || b == nil {
+		return false
+	}
+	if !n.routed {
+		n.ComputeRoutes()
+	}
+	cur := a
+	hops := 0
+	for cur != b {
+		ifc := n.nextHop(cur, b.idx)
+		if ifc == nil {
+			return false
+		}
+		if ifc.ch.cfg.Fidelity != FidelityFlow {
+			return false
+		}
+		cur = ifc.ch.dst
+		hops++
+		if hops > len(n.nodes) {
+			return false
+		}
+	}
+	return true
 }
 
 // DirectionStats reports one link direction's counters. At quiescence
@@ -513,7 +517,7 @@ func (n *Network) PathMTU(a, b *Node) (int, bool) {
 	cur := a
 	hops := 0
 	for cur != b {
-		ifc := cur.routeTab[b.idx]
+		ifc := n.nextHop(cur, b.idx)
 		if ifc == nil {
 			return 0, false
 		}

@@ -127,6 +127,9 @@ type channel struct {
 	BytesSent           int64
 	// busyTime accumulates serialization time for utilization reporting.
 	busyTime simcore.Duration
+	// flowBusyUntil serializes back-to-back transmissions on a
+	// flow-fidelity channel (see flowTransmit); unused at packet fidelity.
+	flowBusyUntil simcore.Time
 }
 
 func newChannel(net *Network, name string, src, dst *Node, cfg LinkConfig) *channel {
@@ -142,6 +145,10 @@ func (c *channel) send(pkt *Packet) {
 		c.Dropped++
 		c.src.stats.PacketsDropped++
 		c.src.freePacket(pkt)
+		return
+	}
+	if c.cfg.Fidelity == FidelityFlow {
+		c.flowTransmit(pkt)
 		return
 	}
 	if c.cfg.LossProb > 0 {
@@ -316,7 +323,7 @@ func (n *Node) sendPacket(pkt *Packet) error {
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
 	}
 	pkt.dstIdx = dn.idx
-	ifc := n.routeTab[dn.idx]
+	ifc := n.net.nextHop(n, dn.idx)
 	if ifc == nil {
 		n.freePacket(pkt)
 		return fmt.Errorf("netsim: no route from %s to %v", n.Name, pkt.Dst)
@@ -344,7 +351,7 @@ func (n *Node) receive(pkt *Packet) {
 			n.freePacket(pkt)
 			return
 		}
-		ifc := n.routeTab[pkt.dstIdx]
+		ifc := n.net.nextHop(n, pkt.dstIdx)
 		if ifc == nil {
 			n.stats.PacketsDropped++
 			if rec := n.eng.Recorder(); rec.Enabled(trace.CatNet) {

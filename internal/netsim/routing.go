@@ -1,0 +1,309 @@
+package netsim
+
+import (
+	"microgrid/internal/simcore"
+)
+
+// Hierarchical routing. The flat model computed an all-pairs next-hop
+// table — O(N²) memory and time — which caps grid size far below the
+// 100k-host scenarios the topology generator can declare. Routing is now
+// two-level, mirroring how the modeled grids are actually shaped (campus
+// clusters joined by WAN links):
+//
+//   - Nodes are grouped into clusters: connected components under links
+//     faster than DefaultWANThreshold (the same partition the PDES shard
+//     planner uses).
+//   - Each node lazily builds a local next-hop table over its own
+//     cluster's subgraph — O(|cluster|) memory, built by the same
+//     delay+hop-penalty Dijkstra with the same name tie-breaks as the
+//     flat model, and only for nodes that actually originate or forward
+//     traffic. Untouched hosts allocate no routing state at all.
+//   - Inter-cluster destinations route toward a per-(srcCluster,
+//     dstCluster) egress gateway chosen by Dijkstra over the summarized
+//     cluster graph (one vertex per cluster, one edge per WAN link) —
+//     O(C²) state shared by every node in the source cluster.
+//
+// For single-gateway clusters — every committed topology and the whole
+// generator family — the hierarchical next hops reproduce the flat
+// shortest paths exactly (TestHierarchicalRoutingMatchesFlat). Forwarding
+// is loop-free in general: each cluster hop strictly decreases the
+// summarized distance to the destination cluster, and intra-cluster legs
+// follow shortest paths to a single gateway.
+//
+// Failure and degrade events no longer trigger an eager global
+// recomputation: they bump routeEpoch, and stale tables rebuild lazily on
+// the next lookup.
+
+// hopPenalty is the small per-hop cost added to link delay so equal-delay
+// paths prefer fewer hops (shared by local and summarized Dijkstra).
+const hopPenalty = simcore.Microsecond
+
+// borderEdge is one direction of a WAN link in the summarized cluster
+// graph: crossing from the cluster owning ifc.node into cluster to.
+type borderEdge struct {
+	to  int32
+	ifc *iface
+}
+
+// egressEntry is the routing decision for one (srcCluster, dstCluster)
+// pair: every node in the source cluster forwards toward gw, which
+// crosses on out.
+type egressEntry struct {
+	gw  *Node
+	out *iface
+	ok  bool
+}
+
+// hier is the network's hierarchical routing state, rebuilt whenever the
+// topology changes structurally (node or link added).
+type hier struct {
+	// clusterOf maps node idx → cluster id; localIdx maps node idx → the
+	// node's position in its cluster's name-sorted member list.
+	clusterOf []int32
+	localIdx  []int32
+	members   [][]*Node
+	// borderOut[c] lists the WAN edges leaving cluster c, in link
+	// creation order (the relaxation order the flat model used).
+	borderOut [][]borderEdge
+	// egress[c] is cluster c's lazily built decision row; egressEpoch[c]
+	// records the routeEpoch it was built at.
+	egress      [][]egressEntry
+	egressEpoch []int64
+}
+
+// ComputeRoutes (re)builds the routing hierarchy: cluster detection plus
+// the summarized border graph. Per-node tables and egress rows are built
+// lazily on first lookup, so this is O(N log N), not O(N²). It must be
+// called after structural topology changes and before traffic flows;
+// transports call it lazily too.
+func (n *Network) ComputeRoutes() {
+	size := int(n.nnodes)
+	h := &hier{
+		clusterOf: make([]int32, size),
+		localIdx:  make([]int32, size),
+	}
+	clusters := n.Clusters(0)
+	h.members = clusters
+	for ci, mem := range clusters {
+		for li, nd := range mem {
+			h.clusterOf[nd.idx] = int32(ci)
+			h.localIdx[nd.idx] = int32(li)
+		}
+	}
+	h.borderOut = make([][]borderEdge, len(clusters))
+	for _, l := range n.links {
+		ca, cb := h.clusterOf[l.A.idx], h.clusterOf[l.B.idx]
+		if ca == cb {
+			continue
+		}
+		h.borderOut[ca] = append(h.borderOut[ca], borderEdge{to: cb, ifc: ifaceFor(l.A, l.ab)})
+		h.borderOut[cb] = append(h.borderOut[cb], borderEdge{to: ca, ifc: ifaceFor(l.B, l.ba)})
+	}
+	h.egress = make([][]egressEntry, len(clusters))
+	h.egressEpoch = make([]int64, len(clusters))
+	n.hier = h
+	n.routeEpoch++
+	n.routed = true
+}
+
+// ifaceFor finds nd's attachment that transmits on ch.
+func ifaceFor(nd *Node, ch *channel) *iface {
+	for _, ifc := range nd.ifaces {
+		if ifc.ch == ch {
+			return ifc
+		}
+	}
+	return nil
+}
+
+// invalidateRoutes marks every lazily built table stale after a link
+// state change (failure, restore, degrade). Unlike the flat model's
+// eager global recomputation this is O(1); tables rebuild on demand.
+func (n *Network) invalidateRoutes() {
+	if !n.routed {
+		return
+	}
+	n.routeEpoch++
+}
+
+// nextHop returns the interface node nd uses toward the node with compact
+// index dstIdx, or nil if unreachable. The caller must ensure the network
+// is routed.
+func (n *Network) nextHop(nd *Node, dstIdx int32) *iface {
+	h := n.hier
+	c, d := h.clusterOf[nd.idx], h.clusterOf[dstIdx]
+	if c == d {
+		if nd.tabEpoch != n.routeEpoch || nd.localTab == nil {
+			n.buildLocalTab(nd)
+		}
+		return nd.localTab[h.localIdx[dstIdx]]
+	}
+	e := n.egressTo(c, d)
+	if e == nil {
+		return nil
+	}
+	if e.gw == nd {
+		return e.out
+	}
+	if nd.tabEpoch != n.routeEpoch || nd.localTab == nil {
+		n.buildLocalTab(nd)
+	}
+	return nd.localTab[h.localIdx[e.gw.idx]]
+}
+
+// buildLocalTab runs Dijkstra from nd over its cluster's subgraph — the
+// same cost function and deterministic name tie-break as the flat model,
+// restricted to intra-cluster links.
+func (n *Network) buildLocalTab(nd *Node) {
+	h := n.hier
+	c := h.clusterOf[nd.idx]
+	mem := h.members[c]
+	size := len(mem)
+	dist := make([]simcore.Duration, size)
+	reached := make([]bool, size)
+	visited := make([]bool, size)
+	first := make([]*iface, size)
+	reached[h.localIdx[nd.idx]] = true
+	for {
+		var u *Node
+		var ui int32
+		var best simcore.Duration
+		for _, cand := range mem { // name-sorted: deterministic extraction
+			ci := h.localIdx[cand.idx]
+			if visited[ci] || !reached[ci] {
+				continue
+			}
+			if dd := dist[ci]; u == nil || dd < best || (dd == best && cand.Name < u.Name) {
+				u, ui, best = cand, ci, dd
+			}
+		}
+		if u == nil {
+			break
+		}
+		visited[ui] = true
+		for _, ifc := range u.ifaces {
+			if ifc.ch.down {
+				continue
+			}
+			v := ifc.ch.dst
+			if h.clusterOf[v.idx] != c {
+				continue
+			}
+			vi := h.localIdx[v.idx]
+			cost := best + ifc.ch.cfg.Delay + hopPenalty
+			if !reached[vi] || cost < dist[vi] {
+				dist[vi], reached[vi] = cost, true
+				if u == nd {
+					first[vi] = ifc
+				} else {
+					first[vi] = first[ui]
+				}
+			}
+		}
+	}
+	first[h.localIdx[nd.idx]] = nil // self is handled by the loopback path
+	nd.localTab = first
+	nd.tabEpoch = n.routeEpoch
+}
+
+// egressTo returns cluster c's egress decision toward cluster d, building
+// the row lazily via Dijkstra over the summarized cluster graph.
+func (n *Network) egressTo(c, d int32) *egressEntry {
+	h := n.hier
+	if h.egress[c] == nil || h.egressEpoch[c] != n.routeEpoch {
+		n.buildEgress(c)
+	}
+	e := &h.egress[c][d]
+	if !e.ok {
+		return nil
+	}
+	return e
+}
+
+// buildEgress runs Dijkstra from cluster c over the summarized graph.
+// Cluster ids ascend in representative-name order (Clusters sorts them),
+// so extraction by smallest id mirrors the flat model's name tie-break;
+// border edges relax in link creation order, mirroring iface order.
+// Intra-cluster transit is costed at zero — exact for singleton transit
+// clusters (backbone routers and cores), which is every committed and
+// generated family.
+func (n *Network) buildEgress(c int32) {
+	h := n.hier
+	nc := len(h.members)
+	dist := make([]simcore.Duration, nc)
+	reached := make([]bool, nc)
+	visited := make([]bool, nc)
+	first := make([]*iface, nc)
+	reached[c] = true
+	for {
+		u := int32(-1)
+		var best simcore.Duration
+		for ci := 0; ci < nc; ci++ {
+			if visited[ci] || !reached[ci] {
+				continue
+			}
+			if dd := dist[ci]; u < 0 || dd < best {
+				u, best = int32(ci), dd
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for _, be := range h.borderOut[u] {
+			if be.ifc == nil || be.ifc.ch.down {
+				continue
+			}
+			cost := best + be.ifc.ch.cfg.Delay + hopPenalty
+			if !reached[be.to] || cost < dist[be.to] {
+				dist[be.to], reached[be.to] = cost, true
+				if u == c {
+					first[be.to] = be.ifc
+				} else {
+					first[be.to] = first[u]
+				}
+			}
+		}
+	}
+	row := make([]egressEntry, nc)
+	for d := 0; d < nc; d++ {
+		if int32(d) == c || first[d] == nil {
+			continue
+		}
+		row[d] = egressEntry{gw: first[d].node, out: first[d], ok: true}
+	}
+	h.egress[c] = row
+	h.egressEpoch[c] = n.routeEpoch
+}
+
+// NextHopName reports the name of the node nd forwards to on its way to
+// dst, or "" when dst is unreachable — exposed for routing equivalence
+// tests and tooling.
+func (n *Network) NextHopName(nd, dst *Node) string {
+	if !n.routed {
+		n.ComputeRoutes()
+	}
+	ifc := n.nextHop(nd, dst.idx)
+	if ifc == nil {
+		return ""
+	}
+	return ifc.ch.dst.Name
+}
+
+// RouteStateBytes estimates the memory held by materialized routing
+// tables — local tables actually built plus egress rows — for scalability
+// assertions. Untouched nodes contribute nothing.
+func (n *Network) RouteStateBytes() int64 {
+	var total int64
+	for _, nd := range n.nodes {
+		if nd.localTab != nil {
+			total += int64(len(nd.localTab)) * 8
+		}
+	}
+	if n.hier != nil {
+		for _, row := range n.hier.egress {
+			total += int64(len(row)) * 24
+		}
+	}
+	return total
+}

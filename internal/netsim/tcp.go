@@ -55,6 +55,9 @@ func (n *Node) Listen(port Port) (*Listener, error) {
 		return nil, fmt.Errorf("netsim: %s port %d already listening", n.Name, port)
 	}
 	l := &Listener{node: n, port: port, backlog: simcore.NewQueue(n.eng, 0)}
+	if n.listeners == nil {
+		n.listeners = make(map[Port]*Listener)
+	}
 	n.listeners[port] = l
 	return l, nil
 }
@@ -149,10 +152,12 @@ type Conn struct {
 	rcvQ      *simcore.Queue
 	rcvClosed bool
 
-	// Flow-mode state (see flowmode.go).
+	// Flow-mode state (see flowmode.go). flowPath caches whether the
+	// routed path to the peer runs entirely at flow fidelity.
 	flowDelay     simcore.Duration
 	flowBps       float64
 	flowBusyUntil simcore.Time
+	flowPath      int8 // 0: unchecked, 1: all-flow, -1: has packet links
 
 	closed bool
 	Stats  ConnStats
@@ -172,6 +177,9 @@ func newConn(n *Node, key connKey) *Conn {
 		rto:       initialRTO,
 		srtt:      -1,
 		rcvQ:      simcore.NewQueue(n.eng, 0),
+	}
+	if n.conns == nil {
+		n.conns = make(map[connKey]*Conn)
 	}
 	n.conns[key] = c
 	return c
@@ -357,7 +365,7 @@ func (c *Conn) Send(p *simcore.Proc, size int, payload any) error {
 	}
 	c.Stats.MsgsSent++
 	c.Stats.BytesSent += int64(size)
-	if c.node.net.flowMode {
+	if c.connFlow() {
 		return c.flowSend(size, payload)
 	}
 	wire := size
@@ -478,7 +486,7 @@ func (c *Conn) maybeFIN() {
 		SrcPort: c.key.local, DstPort: c.key.remotePort,
 		Kind: kindFIN, Size: HeaderBytes,
 	}
-	if c.node.net.flowMode {
+	if c.connFlow() {
 		// Emit the FIN only after the last analytic delivery has landed.
 		c.finSent = true
 		eng := c.node.eng

@@ -39,14 +39,21 @@ type RunArtifacts struct {
 // RunVariant executes the scenario under one engine choice, with
 // per-instance full tracing (CatEngine excluded: its dispatch telemetry
 // is legitimately shard-dependent), and captures every artifact the
-// oracle checks. It never mutates s.
+// oracle checks. It never mutates s. With auto set, cluster
+// partitioning is applied — the scenario's own explicit `partition map`
+// when it drew one, automatic round-robin otherwise — so generated
+// placement draws are actually exercised, not overridden.
 func RunVariant(s *scenario.Scenario, label string, shards int, auto, flow bool) *RunArtifacts {
 	out := &RunArtifacts{Variant: label}
 	sc := *s
 	sc.EngineShards = shards
 	sc.Partition = nil
 	if auto {
-		sc.Partition = &scenario.PartitionSpec{Auto: true}
+		if s.Partition != nil && len(s.Partition.Assign) > 0 {
+			sc.Partition = s.Partition
+		} else {
+			sc.Partition = &scenario.PartitionSpec{Auto: true}
+		}
 	}
 	sc.FlowNetwork = flow
 	// A generous ring: generated workloads stay small, and a dropped
@@ -129,9 +136,13 @@ func CheckSeed(seed int64, opts scengen.Options) *SeedResult {
 	if shards < 2 {
 		shards = 2
 	}
+	placement := "auto"
+	if s.Partition != nil && len(s.Partition.Assign) > 0 {
+		placement = "map"
+	}
 	serial := RunVariant(s, "serial", 0, false, false)
 	sharded := RunVariant(s, fmt.Sprintf("shards=%d", shards), shards, false, false)
-	parted := RunVariant(s, fmt.Sprintf("shards=%d+auto", shards), shards, true, false)
+	parted := RunVariant(s, fmt.Sprintf("shards=%d+%s", shards, placement), shards, true, false)
 	r.Variants = []*RunArtifacts{serial, sharded, parted}
 
 	for _, v := range r.Variants {
@@ -180,11 +191,16 @@ func CheckSeed(seed int64, opts scengen.Options) *SeedResult {
 		if flow.Err != nil {
 			r.violate(PropRunCompletes, flow.Variant, "%v", flow.Err)
 		} else if flow.Report != nil {
-			for _, viol := range CheckEnvelope(
-				serial.Report.VirtualElapsed.Seconds(),
-				flow.Report.VirtualElapsed.Seconds()) {
-				viol.Variant = flow.Variant
-				r.Violations = append(r.Violations, viol)
+			env, eerr := ScenarioEnvelope(s)
+			if eerr != nil {
+				r.violate(PropFlowEnvelope, flow.Variant, "deriving envelope: %v", eerr)
+			} else {
+				for _, viol := range CheckEnvelope(
+					serial.Report.VirtualElapsed.Seconds(),
+					flow.Report.VirtualElapsed.Seconds(), env) {
+					viol.Variant = flow.Variant
+					r.Violations = append(r.Violations, viol)
+				}
 			}
 		}
 	}

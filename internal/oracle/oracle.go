@@ -51,25 +51,6 @@ const (
 	PropRunCompletes = "run-completes"
 )
 
-// The flow-vs-packet agreement envelope: the two network models must
-// agree on workload completion time within FlowRelEnvelope of the
-// packet-level time, or within FlowAbsEnvelope outright (whichever is
-// looser — short runs are dominated by fixed per-message latency the
-// flow model folds into its transfer law). Chaos and lossy links
-// disable the check: the flow model does not replay faults.
-//
-// The relative bound is calibrated empirically over the generator's
-// seed distribution: the flow model runs up to ~47% fast on chatty
-// multi-hop workloads (it folds per-hop serialization and store-and-
-// forward latency into a single transfer law), and never runs slow.
-// 55% leaves margin for new draws while still catching gross
-// divergence — a hung transfer, a doubled completion time, a wrong
-// bottleneck share.
-const (
-	FlowRelEnvelope = 0.55
-	FlowAbsEnvelope = 0.025 // seconds
-)
-
 // Violation is one failed property.
 type Violation struct {
 	// Property names the failed expectation (Prop* constants).
@@ -334,16 +315,4 @@ func CheckChaosBounds(sched *chaos.Schedule, timeline []chaos.TimelineEntry) []V
 		}
 	}
 	return out
-}
-
-// CheckEnvelope verifies flow-level vs packet-level agreement on the
-// workload completion time (seconds of virtual time).
-func CheckEnvelope(packetSeconds, flowSeconds float64) []Violation {
-	diff := math.Abs(packetSeconds - flowSeconds)
-	if diff <= FlowAbsEnvelope || diff <= FlowRelEnvelope*packetSeconds {
-		return nil
-	}
-	return []Violation{{Property: PropFlowEnvelope,
-		Detail: fmt.Sprintf("packet-level %.4fs vs flow-level %.4fs: |Δ|=%.4fs exceeds %.0f%% and %.0fms",
-			packetSeconds, flowSeconds, diff, FlowRelEnvelope*100, FlowAbsEnvelope*1000)}}
 }

@@ -168,15 +168,29 @@ func TestCheckChaosBounds(t *testing.T) {
 	}
 }
 
-// Flow-vs-packet agreement: inside either bound passes, outside both
-// fails with the named property.
+// Flow-vs-packet agreement: inside either derived bound passes, outside
+// both fails with the named property.
 func TestCheckEnvelope(t *testing.T) {
-	if vs := CheckEnvelope(0.100, 0.120); len(vs) != 0 { // within 35%
+	// A campus LAN: 100 Mbps, sub-millisecond round trip. The derived
+	// relative envelope sits at the floor (15%), the absolute one near
+	// its 5ms floor.
+	lan := EnvelopeParams{BottleneckBps: 100e6, RTTSeconds: 0.0004}
+	if vs := CheckEnvelope(0.100, 0.112, lan); len(vs) != 0 { // within the 15% floor
 		t.Fatalf("in-envelope pair flagged: %v", vs)
 	}
-	if vs := CheckEnvelope(0.010, 0.030); len(vs) != 0 { // within 25ms absolute
+	if vs := CheckEnvelope(0.010, 0.014, lan); len(vs) != 0 { // within 5ms absolute
 		t.Fatalf("small absolute difference flagged: %v", vs)
 	}
-	vs := CheckEnvelope(0.100, 0.200) // 100ms and 100% off
+	vs := CheckEnvelope(0.100, 0.200, lan) // 100ms and 100% off
+	wantProp(t, vs, PropFlowEnvelope)
+
+	// A long-fat WAN path earns a wider window/slow-start envelope, but
+	// a doubled completion time still fails it.
+	wan := EnvelopeParams{BottleneckBps: 100e6, RTTSeconds: 0.080}
+	rel, _ := DeriveEnvelope(wan)
+	if rel <= 0.5 || rel >= 1 {
+		t.Fatalf("WAN envelope %.3f outside (0.5, 1)", rel)
+	}
+	vs = CheckEnvelope(1.0, 3.0, wan) // 200% off exceeds any derived bound
 	wantProp(t, vs, PropFlowEnvelope)
 }

@@ -1,0 +1,69 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"microgrid/internal/scenario"
+)
+
+// The acceptance property for the scalable resource model: a generated
+// mixed-fidelity grid — packet-level campuses, flow-level wide area —
+// produces byte-identical reports, chaos timelines, and canonical
+// traces at serial, 2-shard, and 4-shard (cluster-partitioned) engine
+// choices. Ranks span two campuses, so the identity covers actual flow
+// transfers crossing the demoted WAN links, not an idle wide area.
+func TestMixedFidelityByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	text := "scenario mixedfid\n" +
+		"seed 11\n" +
+		"target procs=12 cpu=500\n" +
+		"topology generate kind=star hosts=24 clusters=4 seed=11 wan-fidelity=flow\n" +
+		"workload workqueue units=16 ops=2e+06 ranks=12\n"
+	s, err := scenario.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TopoGen == nil || !s.TopoGen.WANFlow {
+		t.Fatal("scenario does not declare a mixed-fidelity generated grid")
+	}
+	serial := RunVariant(s, "serial", 0, false, false)
+	if serial.Err != nil {
+		t.Fatalf("serial: %v", serial.Err)
+	}
+	if serial.Total.PacketsOriginated == 0 {
+		t.Fatal("run moved no packets")
+	}
+	// The campus↔core directions must have carried traffic: the ranks
+	// live on clusters 0 and 1, so work-queue chatter crosses the
+	// flow-fidelity access links.
+	wanTraffic := false
+	for _, d := range serial.LinkDirs {
+		if (strings.HasSuffix(d.From, "gw") && d.To == "core" ||
+			d.From == "core" && strings.HasSuffix(d.To, "gw")) && d.Sent > 0 {
+			wanTraffic = true
+			break
+		}
+	}
+	if !wanTraffic {
+		t.Fatal("no traffic crossed the flow-fidelity WAN links; the identity would be vacuous")
+	}
+	if vs := CheckConservation(serial.Total, serial.LinkDirs); len(vs) != 0 {
+		t.Fatalf("serial conservation: %v", vs)
+	}
+	for _, shards := range []int{2, 4} {
+		v := RunVariant(s, fmt.Sprintf("shards=%d", shards), shards, true, false)
+		if v.Err != nil {
+			t.Fatalf("shards=%d: %v", shards, v.Err)
+		}
+		if vs := CheckConservation(v.Total, v.LinkDirs); len(vs) != 0 {
+			t.Fatalf("shards=%d conservation: %v", shards, vs)
+		}
+		for _, viol := range CompareVariants(serial, v) {
+			t.Errorf("shards=%d: %s", shards, viol)
+		}
+	}
+}

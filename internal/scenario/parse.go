@@ -269,8 +269,25 @@ func ParseAt(name string, r io.Reader) (*Scenario, error) {
 				}
 			}
 		case "topology":
+			if len(fields) > 1 && fields[1] == "generate" {
+				if s.TopoGen != nil {
+					return nil, fail(fields[1], "duplicate 'topology generate' line")
+				}
+				if s.Topology != nil {
+					return nil, fail(fields[1], "'topology generate' conflicts with the inline topology section above: declare the grid one way")
+				}
+				g, err := parseTopoGen(fields[2:], fail)
+				if err != nil {
+					return nil, err
+				}
+				s.TopoGen = g
+				continue
+			}
 			if len(fields) != 1 {
-				return nil, fail(fields[1], "the topology name goes inside the section ('topology' opens it)")
+				return nil, fail(fields[1], "the topology name goes inside the section ('topology' opens it); to generate one, use 'topology generate kind=... hosts=N seed=S'")
+			}
+			if s.TopoGen != nil {
+				return nil, fail(fields[0], "inline topology section conflicts with the 'topology generate' line above: declare the grid one way")
 			}
 			body, first, err := section("topology")
 			if err != nil {
@@ -569,6 +586,48 @@ func parseWorkload(toks []string, fail failFunc) (*Workload, error) {
 		}
 	}
 	return w, nil
+}
+
+// parseTopoGen parses the one-line seeded generator form:
+// 'topology generate kind=<star|fat-tree> hosts=<n> [seed=<n>]
+// [clusters=<n>] [wan-fidelity=<packet|flow>]'.
+func parseTopoGen(opts []string, fail failFunc) (*topology.GenSpec, error) {
+	g := &topology.GenSpec{}
+	if len(opts) == 0 {
+		return nil, fail("generate", "want 'topology generate kind=<star|fat-tree> hosts=<n> [seed=<n>] [clusters=<n>] [wan-fidelity=<packet|flow>]'")
+	}
+	for _, opt := range opts {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return nil, fail(opt, "bad option (want key=value)")
+		}
+		var err error
+		switch k {
+		case "kind":
+			g.Kind = v
+		case "hosts":
+			g.Hosts, err = strconv.Atoi(v)
+		case "seed":
+			g.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "clusters":
+			g.Clusters, err = strconv.Atoi(v)
+		case "wan-fidelity":
+			switch v {
+			case "packet":
+				g.WANFlow = false
+			case "flow":
+				g.WANFlow = true
+			default:
+				return nil, fail(opt, "bad wan-fidelity %q (want packet or flow)", v)
+			}
+		default:
+			return nil, fail(opt, "unknown topology generate option %q", k)
+		}
+		if err != nil {
+			return nil, fail(opt, "bad %s: %v", k, err)
+		}
+	}
+	return g, nil
 }
 
 func parseRetry(opts []string, fail failFunc) (*RetrySpec, error) {

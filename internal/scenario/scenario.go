@@ -164,6 +164,11 @@ type Scenario struct {
 	// lists which topology hosts are the virtual hosts, in rank order.
 	Topology  *topology.Spec
 	HostRanks []string
+	// TopoGen, when non-nil, generates the topology from a seeded family
+	// instead (`topology generate kind=star hosts=100000 seed=7`);
+	// exclusive with an inline topology section. Every generated host is
+	// a virtual host; the workload's ranks= option sizes the working set.
+	TopoGen *topology.GenSpec
 	// Workload is what to run (nil for build-only scenarios).
 	Workload *Workload
 	// Retry, when non-nil, submits through the resilient client.
@@ -215,6 +220,9 @@ func (s *Scenario) Validate() error {
 		}
 		if s.Topology != nil {
 			return fmt.Errorf("gis and topology conflict: the GIS records define the network")
+		}
+		if s.TopoGen != nil {
+			return fmt.Errorf("gis and topology generate conflict: the GIS records define the network")
 		}
 	}
 	if s.Emulation != nil {
@@ -269,6 +277,14 @@ func (s *Scenario) Validate() error {
 	if s.Topology == nil && len(s.HostRanks) > 0 {
 		return fmt.Errorf("ranks needs a topology section")
 	}
+	if s.TopoGen != nil {
+		if s.Topology != nil {
+			return fmt.Errorf("topology generate conflicts with an inline topology section: declare the grid one way")
+		}
+		if err := s.TopoGen.Validate(); err != nil {
+			return err
+		}
+	}
 	for _, r := range s.HostRanks {
 		if !bareToken(r) {
 			return fmt.Errorf("bad rank host name %q", r)
@@ -305,7 +321,9 @@ func (s *Scenario) Validate() error {
 // "lan-switch"). GIS-defined grids are resolved at load time, so their
 // targets remain an arm-time check.
 func (s *Scenario) validateChaosTargets() error {
-	if s.Chaos == nil || s.GIS != nil {
+	if s.Chaos == nil || s.GIS != nil || s.TopoGen != nil {
+		// GIS- and generator-defined grids resolve their node names at
+		// load/build time, so their targets remain an arm-time check.
 		return nil
 	}
 	hosts := map[string]bool{}

@@ -76,6 +76,20 @@ func (s *Scenario) String() string {
 	if s.Topology != nil {
 		writeSection(&b, "topology", s.Topology.String())
 	}
+	if s.TopoGen != nil {
+		g := s.TopoGen
+		fmt.Fprintf(&b, "topology generate kind=%s hosts=%d", g.Kind, g.Hosts)
+		if g.Seed != 0 {
+			fmt.Fprintf(&b, " seed=%d", g.Seed)
+		}
+		if g.Clusters != 0 {
+			fmt.Fprintf(&b, " clusters=%d", g.Clusters)
+		}
+		if g.WANFlow {
+			b.WriteString(" wan-fidelity=flow")
+		}
+		b.WriteString("\n")
+	}
 	if len(s.HostRanks) > 0 {
 		fmt.Fprintf(&b, "ranks %s\n", strings.Join(s.HostRanks, " "))
 	}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"microgrid/internal/topology"
+)
+
+// The seeded one-line form parses into a GenSpec, serializes back
+// canonically, and survives the round trip.
+func TestParseTopoGen(t *testing.T) {
+	s, err := ParseString("scenario g\nseed 4\ntarget procs=8 cpu=500\n" +
+		"topology generate kind=fat-tree hosts=100000 seed=9 wan-fidelity=flow\n" +
+		"workload pingpong bytes=1024\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.GenSpec{Kind: topology.GenFatTree, Hosts: 100000, Seed: 9, WANFlow: true}
+	if s.TopoGen == nil || *s.TopoGen != want {
+		t.Fatalf("parsed %+v, want %+v", s.TopoGen, want)
+	}
+	if s.Topology != nil {
+		t.Fatal("generate line must not expand an inline topology")
+	}
+	text := s.String()
+	if !strings.Contains(text, "topology generate kind=fat-tree hosts=100000 seed=9 wan-fidelity=flow") {
+		t.Fatalf("canonical form lost the generate line:\n%s", text)
+	}
+	again, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Fatal("generate line does not round-trip")
+	}
+}
+
+// Declaring the grid both ways — a generate line and an inline topology
+// section, in either order — is rejected with an error naming the line
+// of the second declaration.
+func TestParseTopoGenInlineConflict(t *testing.T) {
+	inline := "topology\n  topology two\n  host a addr=10.0.0.1\n  host b addr=10.0.0.2\n  link a b 100Mbps 1ms\nend\n"
+	gen := "topology generate kind=star hosts=4 seed=1\n"
+	head := "scenario g\ntarget procs=2 cpu=500\n"
+
+	_, err := ParseString(head + gen + inline)
+	if err == nil || !strings.Contains(err.Error(), "conflicts with") {
+		t.Fatalf("generate-then-inline accepted or wrong error: %v", err)
+	}
+	if !strings.Contains(err.Error(), ":4:") {
+		t.Fatalf("error does not point at the inline section line: %v", err)
+	}
+
+	_, err = ParseString(head + inline + gen)
+	if err == nil || !strings.Contains(err.Error(), "conflicts with") {
+		t.Fatalf("inline-then-generate accepted or wrong error: %v", err)
+	}
+	if !strings.Contains(err.Error(), ":9:") {
+		t.Fatalf("error does not point at the generate line: %v", err)
+	}
+
+	_, err = ParseString(head + gen + gen)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate generate accepted or wrong error: %v", err)
+	}
+}
+
+// Malformed generate lines are rejected with the grammar in the error.
+func TestParseTopoGenBadOptions(t *testing.T) {
+	head := "scenario g\ntarget procs=2 cpu=500\n"
+	for _, tc := range []struct{ line, want string }{
+		{"topology generate", "want 'topology generate"},
+		{"topology generate kind=star hosts=abc", "bad hosts"},
+		{"topology generate kind=star hosts=4 wan-fidelity=maybe", "bad wan-fidelity"},
+		{"topology generate kind=star hosts=4 color=red", "unknown topology generate option"},
+	} {
+		_, err := ParseString(head + tc.line + "\n")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: got %v, want error containing %q", tc.line, err, tc.want)
+		}
+	}
+}
+
+// Validate caps generated host counts so a typo'd scale experiment
+// fails fast instead of exhausting memory, and surfaces the generator's
+// own parameter validation.
+func TestValidateTopoGenCaps(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name:    "caps",
+			Target:  &Machine{Procs: 2, CPUMIPS: 500},
+			TopoGen: &topology.GenSpec{Kind: topology.GenStar, Hosts: 4, Seed: 1},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid generate scenario rejected: %v", err)
+	}
+	over := base()
+	over.TopoGen.Hosts = topology.MaxGeneratedHosts + 1
+	if err := over.Validate(); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap host count: got %v", err)
+	}
+	bad := base()
+	bad.TopoGen.Kind = "torus"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown kind: got %v", err)
+	}
+	both := base()
+	both.Topology = &topology.Spec{Name: "t"}
+	if err := both.Validate(); err == nil {
+		t.Fatal("generate plus inline topology validated")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"microgrid/internal/chaos"
+	"microgrid/internal/netsim"
 	"microgrid/internal/scenario"
 	"microgrid/internal/simcore"
 	"microgrid/internal/topology"
@@ -52,6 +53,16 @@ type Meta struct {
 	// applies: no chaos and no lossy links, so both network modes model
 	// the same fault-free run.
 	FlowSafe bool
+	// WANFlow reports that the wide-area links were demoted to flow
+	// fidelity while the campus LANs stay packet-level — the mixed
+	// configuration large grids run at.
+	WANFlow bool
+	// FlowNet reports that the scenario selects whole-run flow-level
+	// network modeling in its own text (flownet).
+	FlowNet bool
+	// PartitionMap reports that the engine draw pins clusters to shards
+	// with an explicit `partition map` instead of automatic placement.
+	PartitionMap bool
 }
 
 // Generate expands seed into a scenario and its oracle metadata. The
@@ -144,7 +155,64 @@ func Generate(seed int64, opts Options) (*scenario.Scenario, *Meta) {
 	}
 
 	meta.FlowSafe = flavor == "" && !meta.HasLoss
+
+	// (f) New-surface draws, appended after every legacy draw so an old
+	// seed keeps its existing prefix (topology, workload, faults) and
+	// only gains attributes here.
+
+	// Per-link fidelity: on fault-free, loss-free draws, demote the wide
+	// area to flow fidelity while the campuses stay packet-level — the
+	// mixed configuration large grids run at. Chaos and loss stay on
+	// all-packet draws: both act on per-packet state the flow law folds
+	// away, so their interaction is not a lawful-agreement question.
+	if meta.FlowSafe && rng.Intn(3) == 0 {
+		flowWANLinks(spec, meta)
+		meta.WANFlow = true
+	}
+
+	// Whole-run flow network: the scenario's own text selects analytic
+	// modeling, exercising the flownet parse/serialize path and
+	// mgridrun's flow configuration.
+	if meta.FlowSafe && rng.Intn(6) == 0 {
+		s.FlowNetwork = true
+		meta.FlowNet = true
+	}
+
+	// Explicit placement: sometimes replace automatic round-robin with a
+	// `partition map` pinning each campus cluster to a shard by its
+	// gateway (the core's cluster keeps the automatic default), rotated
+	// so placements differ across seeds.
+	if s.Partition != nil && s.Partition.Auto && rng.Intn(2) == 0 {
+		off := rng.Intn(s.EngineShards)
+		assign := make(map[string]int, meta.Clusters)
+		for i := 0; i < meta.Clusters; i++ {
+			anchor := fmt.Sprintf("c%dgw", i)
+			if meta.Family == "fattree" {
+				anchor = fmt.Sprintf("e%dsw", i)
+			}
+			assign[anchor] = (i + off) % s.EngineShards
+		}
+		s.Partition = &scenario.PartitionSpec{Assign: assign}
+		meta.PartitionMap = true
+	}
+
 	return s, meta
+}
+
+// flowWANLinks sets flow fidelity on every wide-area link of spec (the
+// pairs recorded in meta.WANLinks), leaving campus links packet-level.
+func flowWANLinks(spec *topology.Spec, meta *Meta) {
+	wan := make(map[[2]string]bool, 2*len(meta.WANLinks))
+	for _, p := range meta.WANLinks {
+		wan[p] = true
+		wan[[2]string{p[1], p[0]}] = true
+	}
+	for i := range spec.Links {
+		l := &spec.Links[i]
+		if wan[[2]string{l.A, l.B}] {
+			l.Fidelity = netsim.FidelityFlow
+		}
+	}
 }
 
 func orNone(s string) string {

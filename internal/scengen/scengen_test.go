@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"microgrid/internal/netsim"
 	"microgrid/internal/scenario"
 )
 
@@ -54,6 +55,7 @@ func TestGenerateDiversity(t *testing.T) {
 	kinds := map[string]int{}
 	flavors := map[string]int{}
 	engines := map[string]int{}
+	surface := map[string]int{}
 	for seed := int64(0); seed < 200; seed++ {
 		s, meta := Generate(seed, Options{Quick: true})
 		families[meta.Family]++
@@ -66,6 +68,37 @@ func TestGenerateDiversity(t *testing.T) {
 			engines["partition"]++
 		default:
 			engines["parallel"]++
+		}
+		if meta.WANFlow {
+			surface["wan-fidelity"]++
+			found := false
+			for _, l := range s.Topology.Links {
+				if l.Fidelity == netsim.FidelityFlow {
+					found = true
+				} else if l.Fidelity != netsim.FidelityPacket && l.Fidelity != 0 {
+					t.Fatalf("seed %d: unexpected fidelity %v on %s–%s", seed, l.Fidelity, l.A, l.B)
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: WANFlow meta without any flow-fidelity link", seed)
+			}
+		}
+		if meta.FlowNet {
+			surface["flownet"]++
+			if !s.FlowNetwork {
+				t.Fatalf("seed %d: FlowNet meta without flownet", seed)
+			}
+		}
+		if meta.PartitionMap {
+			surface["partition-map"]++
+			if s.Partition == nil || s.Partition.Auto || len(s.Partition.Assign) != meta.Clusters {
+				t.Fatalf("seed %d: PartitionMap meta but partition=%+v clusters=%d", seed, s.Partition, meta.Clusters)
+			}
+		}
+	}
+	for _, want := range []string{"wan-fidelity", "flownet", "partition-map"} {
+		if surface[want] == 0 {
+			t.Errorf("new-surface draw %q never taken: %v", want, surface)
 		}
 	}
 	for name, m := range map[string]map[string]int{

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"microgrid/internal/gis"
+	"microgrid/internal/netsim"
 )
 
 // ParseError is a positioned topology parse failure: the source name
@@ -118,7 +119,7 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 			spec.Routers = append(spec.Routers, fields[1])
 		case "link":
 			if len(fields) < 5 {
-				return fail(fields[0], "want 'link <a> <b> <bw> <delay> [queue=N] [loss=P]'")
+				return fail(fields[0], "want 'link <a> <b> <bw> <delay> [queue=N] [loss=P] [fidelity=packet|flow]'")
 			}
 			bw, err := gis.ParseBandwidth(fields[3])
 			if err != nil {
@@ -151,6 +152,15 @@ func ParseSpecAt(name string, firstLine int, r io.Reader) (*Spec, error) {
 						return fail(opt, "bad loss probability %q", v)
 					}
 					l.LossProb = p
+				case "fidelity":
+					switch v {
+					case "packet":
+						l.Fidelity = netsim.FidelityPacket
+					case "flow":
+						l.Fidelity = netsim.FidelityFlow
+					default:
+						return fail(opt, "bad fidelity %q (want packet or flow)", v)
+					}
 				default:
 					return fail(opt, "unknown link option %q", k)
 				}
@@ -195,6 +205,9 @@ func (s *Spec) String() string {
 		}
 		if l.LossProb != 0 {
 			fmt.Fprintf(&b, " loss=%g", l.LossProb)
+		}
+		if l.Fidelity != netsim.FidelityPacket {
+			fmt.Fprintf(&b, " fidelity=%s", l.Fidelity)
 		}
 		b.WriteString("\n")
 	}

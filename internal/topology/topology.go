@@ -36,6 +36,9 @@ type LinkSpec struct {
 	Delay        simcore.Duration
 	QueueBytes   int
 	LossProb     float64
+	// Fidelity selects the link's simulation fidelity: packet-level (the
+	// default) or analytic flow-level.
+	Fidelity netsim.Fidelity
 }
 
 // Validate checks structural invariants that hold independently of any
@@ -112,6 +115,7 @@ func (s *Spec) Apply(nw *netsim.Network, scale func(netsim.LinkConfig) netsim.Li
 			Delay:        l.Delay,
 			QueueBytes:   l.QueueBytes,
 			LossProb:     l.LossProb,
+			Fidelity:     l.Fidelity,
 		}
 		if scale != nil {
 			cfg = scale(cfg)

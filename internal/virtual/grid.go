@@ -87,6 +87,15 @@ type Config struct {
 	// physical host shared by virtual hosts on different engines is an
 	// error.
 	AssignEngines func(nw *netsim.Network) map[string]*simcore.Engine
+	// Lazy defers per-host materialization — the clock, CPU scheduler
+	// task, memory limiter, and physical host — to the first Host()
+	// touch. The topology is still wired in full (routing needs every
+	// node), but a grid declaring 100k hosts allocates host runtime
+	// state only for the hosts a workload actually touches. Lazy
+	// requires Direct mode: fraction controllers are placed at build
+	// time and would defeat the point. Host configurations are still
+	// validated eagerly, so Host() cannot fail later.
+	Lazy bool
 }
 
 // Grid is a running virtual grid.
@@ -103,6 +112,13 @@ type Grid struct {
 	// (emulated grids only).
 	controllers map[string]*cpusched.MultiController
 	stagger     float64
+
+	// lazy grids keep declared-but-untouched hosts as configurations;
+	// materialize moves one to hosts/byIP on first Host() touch.
+	lazy     bool
+	hostCfgs map[string]HostConfig
+	physCfgs map[string]PhysConfig
+	addrName map[netsim.Addr]string
 
 	sendOverheadOps float64
 	perByteOps      float64
@@ -232,6 +248,42 @@ func NewGrid(eng *simcore.Engine, cfg Config, wire func(nw *netsim.Network, scal
 		}
 	}
 
+	if cfg.Lazy {
+		if !cfg.Direct {
+			return nil, fmt.Errorf("virtual: lazy host materialization requires direct mode")
+		}
+		// Validate every declared host now — cheap map lookups against the
+		// wired topology — so a later Host() touch cannot fail. Runtime
+		// state waits for that touch.
+		g.lazy = true
+		g.hostCfgs = make(map[string]HostConfig, len(cfg.Hosts))
+		g.physCfgs = physCfg
+		g.addrName = make(map[netsim.Addr]string, len(cfg.Hosts))
+		for _, hc := range cfg.Hosts {
+			if hc.CPUSpeedMIPS <= 0 {
+				return nil, fmt.Errorf("virtual: host %s needs positive CPU speed", hc.Name)
+			}
+			pc, ok := physCfg[hc.MappedPhysical]
+			if !ok {
+				return nil, fmt.Errorf("virtual: host %s maps to unknown physical %q", hc.Name, hc.MappedPhysical)
+			}
+			if hc.CPUSpeedMIPS > pc.CPUSpeedMIPS+1e-9 {
+				return nil, fmt.Errorf("virtual: direct mode: host %s (%.0f MIPS) exceeds physical %s (%.0f MIPS)",
+					hc.Name, hc.CPUSpeedMIPS, pc.Name, pc.CPUSpeedMIPS)
+			}
+			node := g.vnet.Node(hc.Name)
+			if node == nil {
+				return nil, fmt.Errorf("virtual: topology has no node for host %s", hc.Name)
+			}
+			if node.Addr != hc.IP {
+				return nil, fmt.Errorf("virtual: node %s has address %v, config says %v", hc.Name, node.Addr, hc.IP)
+			}
+			g.hostCfgs[hc.Name] = hc
+			g.addrName[hc.IP] = hc.Name
+		}
+		return g, nil
+	}
+
 	// Physical hosts are created on the engine of the virtual hosts
 	// mapped onto them, so a host's CPU scheduler shares its shard.
 	physEng := make(map[string]*simcore.Engine, len(cfg.Phys))
@@ -343,27 +395,108 @@ func (g *Grid) Rate() float64 { return g.rate }
 // Network returns the (scaled) virtual network simulator.
 func (g *Grid) Network() *netsim.Network { return g.vnet }
 
-// Host returns the named virtual host, or nil.
-func (g *Grid) Host(name string) *Host { return g.hosts[name] }
+// Host returns the named virtual host, or nil. On a lazy grid the
+// first touch materializes the host's runtime state (validated at
+// build time, so materialization cannot fail).
+func (g *Grid) Host(name string) *Host {
+	if h, ok := g.hosts[name]; ok {
+		return h
+	}
+	if g.lazy {
+		if hc, ok := g.hostCfgs[name]; ok {
+			return g.materialize(hc)
+		}
+	}
+	return nil
+}
+
+// Materialized returns the named host only if its runtime state already
+// exists — it never triggers materialization. On an eager grid every
+// declared host is materialized, so this equals Host.
+func (g *Grid) Materialized(name string) *Host { return g.hosts[name] }
+
+// MaterializedCount reports how many declared hosts have runtime state.
+func (g *Grid) MaterializedCount() int { return len(g.hosts) }
+
+// DeclaredHosts reports the total declared host count, materialized or
+// not.
+func (g *Grid) DeclaredHosts() int { return len(g.hosts) + len(g.hostCfgs) }
+
+// materialize builds the runtime state of one declared host: its
+// physical CPU (created on the host's shard on first use), clock, CPU
+// scheduler task, and memory limiter — the body of NewGrid's eager
+// loop, deferred to first touch. Only lazy (hence direct-mode) grids
+// reach here, so there is no fraction controller to register with.
+func (g *Grid) materialize(hc HostConfig) *Host {
+	node := g.vnet.Node(hc.Name)
+	heng := node.Engine()
+	p, ok := g.phys[hc.MappedPhysical]
+	if !ok {
+		pc := g.physCfgs[hc.MappedPhysical]
+		quantum := pc.Quantum
+		p = cpusched.NewHost(heng, pc.Name, pc.CPUSpeedMIPS, quantum)
+		g.phys[pc.Name] = p
+	}
+	mem := hc.MemoryBytes
+	if mem == 0 {
+		mem = 4 << 30
+	}
+	h := &Host{
+		grid:         g,
+		eng:          heng,
+		clock:        vtime.NewClock(heng, g.rate),
+		Name:         hc.Name,
+		IP:           hc.IP,
+		CPUSpeedMIPS: hc.CPUSpeedMIPS,
+		Node:         node,
+		Mem:          memmodel.NewLimiter(mem),
+		Phys:         p,
+		Fraction:     1,
+		cpu:          simcore.NewMutex(heng),
+	}
+	h.task = p.NewTask("vhost:" + hc.Name)
+	g.hosts[hc.Name] = h
+	g.byIP[hc.IP] = h
+	delete(g.hostCfgs, hc.Name)
+	return h
+}
 
 // Phys returns the named physical host, or nil.
 func (g *Grid) PhysHost(name string) *cpusched.Host { return g.phys[name] }
 
 // Resolve is the gethostbyname analog: virtual host name → virtual IP.
+// Resolving a lazy host's name answers from its declaration without
+// materializing it.
 func (g *Grid) Resolve(name string) (netsim.Addr, error) {
 	if h, ok := g.hosts[name]; ok {
 		return h.IP, nil
 	}
+	if hc, ok := g.hostCfgs[name]; ok {
+		return hc.IP, nil
+	}
 	if a, err := netsim.ParseAddr(name); err == nil {
 		if _, ok := g.byIP[a]; ok {
+			return a, nil
+		}
+		if _, ok := g.addrName[a]; ok {
 			return a, nil
 		}
 	}
 	return 0, fmt.Errorf("virtual: unknown host %q", name)
 }
 
-// HostByIP is the reverse mapping.
-func (g *Grid) HostByIP(a netsim.Addr) *Host { return g.byIP[a] }
+// HostByIP is the reverse mapping; a declared-but-untouched host
+// materializes (callers hold a live connection to it, so it is about
+// to be touched anyway).
+func (g *Grid) HostByIP(a netsim.Addr) *Host {
+	if h, ok := g.byIP[a]; ok {
+		return h
+	}
+	if name, ok := g.addrName[a]; ok {
+		return g.Host(name)
+	}
+	return nil
+}
 
 // controllerFor returns — creating and spawning on demand — the MicroGrid
 // scheduler daemon of a physical host. The daemon cycles on a fixed wall
@@ -399,10 +532,14 @@ func (g *Grid) StopControllers() {
 	}
 }
 
-// Hosts returns all virtual host names (unordered).
+// Hosts returns all virtual host names (unordered), materialized or
+// not.
 func (g *Grid) HostNames() []string {
-	out := make([]string, 0, len(g.hosts))
+	out := make([]string, 0, len(g.hosts)+len(g.hostCfgs))
 	for n := range g.hosts {
+		out = append(out, n)
+	}
+	for n := range g.hostCfgs {
 		out = append(out, n)
 	}
 	return out
